@@ -1,0 +1,1 @@
+bin/repro_cli.ml: Arg Array Bounds Cmd Cmdliner Core Format Fun List Option Printf Random Rat Sim Spec String Term

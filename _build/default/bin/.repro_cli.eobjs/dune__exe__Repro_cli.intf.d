@@ -1,0 +1,1 @@
+bin/repro_cli.mli:

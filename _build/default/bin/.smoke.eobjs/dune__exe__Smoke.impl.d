@@ -1,0 +1,1 @@
+bin/smoke.ml: Core Format List Rat Sim Spec

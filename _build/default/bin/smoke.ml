@@ -1,0 +1,23 @@
+(* Quick end-to-end smoke check used during development; the real
+   entry points are the test suite and bench/main.exe. *)
+
+module R = Core.Runtime.Make (Spec.Fifo_queue)
+
+let rat = Rat.make
+
+let () =
+  let model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 10 1) ~u:(rat 4 1) in
+  let offsets = [| Rat.zero; rat 1 1; rat (-1) 1; rat 2 1 |] in
+  let delay = Sim.Net.random_model ~seed:42 model in
+  let x = rat 2 1 in
+  List.iter
+    (fun algorithm ->
+      let report =
+        R.run ~model ~offsets ~delay ~algorithm
+          ~workload:(R.Closed_loop { per_proc = 12; think = rat 1 2; seed = 7 })
+          ()
+      in
+      Format.printf "%a@." R.pp_report report;
+      assert (R.ok report))
+    [ R.Wtlw { x }; R.Centralized; R.Tob ];
+  print_endline "smoke OK"

@@ -1,0 +1,1 @@
+examples/auction.ml: Bounds Core Format Lin List Rat Sim Spec

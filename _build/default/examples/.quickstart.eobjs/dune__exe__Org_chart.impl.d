@@ -1,0 +1,1 @@
+examples/org_chart.ml: Core Format Lin List Rat Sim Spec

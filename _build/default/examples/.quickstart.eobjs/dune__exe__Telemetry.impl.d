@@ -1,0 +1,1 @@
+examples/telemetry.ml: Core Format Lin List Rat Sim Spec

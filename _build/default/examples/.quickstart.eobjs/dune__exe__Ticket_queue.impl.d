@@ -1,0 +1,1 @@
+examples/ticket_queue.ml: Core Format Lin List Rat Sim Spec

@@ -1,0 +1,89 @@
+(* Sealed-bid auction settlement on a shared read-modify-write
+   register: bidders race compare-and-swap operations to claim the
+   lot, then read the outcome.
+
+   Run with: dune exec examples/auction.exe
+
+   RMW is the paper's flagship pair-free operation (Theorem 4: it can
+   never run faster than d + min{eps, u, d/3}), and this example shows
+   why that cost is inherent: of several concurrent CAS claims, exactly
+   one can win, which forces cross-process coordination before any of
+   them may respond. *)
+
+module R = Spec.Rmw_register
+module Algo = Core.Wtlw.Make (R)
+module Checker = Lin.Checker.Make (R)
+
+let rat = Rat.make
+let model = Sim.Model.make_optimal_eps ~n:5 ~d:(rat 10 1) ~u:(rat 4 1)
+
+let () =
+  let offsets = [| Rat.zero; rat 1 1; rat (-1) 1; rat 3 2; rat (-3) 2 |] in
+  let delay = Sim.Net.random_model ~seed:4242 model in
+  let cluster = Algo.create ~model ~x:(rat 2 1) ~offsets ~delay () in
+
+  (* Bidder i claims the lot by CAS(0, i): succeed only if nobody has
+     claimed yet (register still 0).  All five bidders fire at
+     essentially the same instant. *)
+  for bidder = 1 to 4 do
+    Sim.Engine.schedule_invoke cluster.engine
+      ~at:(rat bidder 100) ~proc:bidder
+      (R.Rmw (R.Compare_and_swap (0, bidder)))
+  done;
+  (* The auctioneer reads the final owner once the dust settles. *)
+  Sim.Engine.schedule_invoke cluster.engine ~at:(rat 50 1) ~proc:0 R.Read;
+  Sim.Engine.run cluster.engine;
+  let ops = Sim.Trace.operations (Sim.Engine.trace cluster.engine) in
+
+  (* Exactly one CAS observed 0 (and thus won). *)
+  let winners =
+    List.filter_map
+      (fun (op : Checker.op) ->
+        match (op.inv, op.resp) with
+        | R.Rmw (R.Compare_and_swap (0, bidder)), R.Value 0 -> Some bidder
+        | _ -> None)
+      ops
+  in
+  (match winners with
+  | [ bidder ] -> Format.printf "lot claimed by bidder %d@." bidder
+  | _ -> failwith "BUG: zero or multiple CAS winners");
+
+  (* Losers all saw the winner's id. *)
+  List.iter
+    (fun (op : Checker.op) ->
+      match (op.inv, op.resp) with
+      | R.Rmw (R.Compare_and_swap (0, bidder)), R.Value seen when seen <> 0 ->
+          Format.printf "bidder %d lost; saw owner %d@." bidder seen;
+          assert (seen = List.hd winners)
+      | _ -> ())
+    ops;
+
+  (* The read agrees and the run is linearizable. *)
+  let read = List.find (fun (o : Checker.op) -> o.inv = R.Read) ops in
+  (match read.resp with
+  | R.Value v ->
+      Format.printf "auctioneer reads owner = %d@." v;
+      assert (v = List.hd winners)
+  | R.Ack -> assert false);
+  assert (Checker.is_linearizable ops);
+  assert (Algo.replicas_converged cluster);
+
+  (* The cost side of the story: the CAS latency matches the paper's
+     mixed-operation bound d + eps, and the new lower bound says no
+     implementation can do better than d + min{eps, u, d/3}. *)
+  let cas_latency =
+    Rat.max_list
+      (List.filter_map
+         (fun (op : Checker.op) ->
+           match op.inv with
+           | R.Rmw _ -> Some (Core.Metrics.latency op)
+           | _ -> None)
+         ops)
+  in
+  Format.printf "@.CAS latency: %s (upper bound d + eps = %s)@."
+    (Rat.to_string cas_latency)
+    (Rat.to_string (Bounds.Theorems.ub_mixed model));
+  Format.printf "lower bound for any algorithm (Thm 4): %s@."
+    (Rat.to_string (Bounds.Theorems.thm4_pair_free model));
+  assert (Rat.le cas_latency (Bounds.Theorems.ub_mixed model));
+  print_endline "\nauction OK"

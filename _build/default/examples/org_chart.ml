@@ -1,0 +1,94 @@
+(* Collaborative org chart: a shared rooted tree edited concurrently
+   from several sites (Table 4's data type).
+
+   Run with: dune exec examples/org_chart.exe
+
+   Inserts and deletes are pure mutators — they acknowledge after just
+   X + eps — while depth queries are pure accessors.  The example
+   builds a small org chart from three sites concurrently, moves a
+   team under a new manager (insert's move semantics), dissolves a
+   department (subtree delete), and verifies every site converges to
+   the same chart. *)
+
+module T = Spec.Tree_type
+module Algo = Core.Wtlw.Make (T)
+module Checker = Lin.Checker.Make (T)
+
+let rat = Rat.make
+let model = Sim.Model.make_optimal_eps ~n:3 ~d:(rat 10 1) ~u:(rat 4 1)
+
+(* Node ids: 0 = CEO (root), 1 = engineering, 2 = sales,
+   11/12 = engineers, 21 = account exec, 3 = new VP. *)
+let names =
+  [
+    (0, "ceo"); (1, "eng"); (2, "sales"); (3, "vp");
+    (11, "alice"); (12, "bob"); (21, "carol");
+  ]
+
+let name id = try List.assoc id names with Not_found -> string_of_int id
+
+let () =
+  let offsets = [| Rat.zero; rat 1 1; rat (-1) 1 |] in
+  let delay = Sim.Net.random_model ~seed:7 model in
+  let cluster = Algo.create ~model ~x:(rat 2 1) ~offsets ~delay () in
+  let at k = rat (k * 25) 1 in
+  let schedule =
+    [
+      (* Three sites build departments concurrently. *)
+      Core.Workload.entry ~proc:0 ~at:(at 0) (T.Insert (1, 0));
+      Core.Workload.entry ~proc:1 ~at:(at 0) (T.Insert (2, 0));
+      Core.Workload.entry ~proc:2 ~at:(at 0) (T.Insert (3, 0));
+      (* Hires. *)
+      Core.Workload.entry ~proc:0 ~at:(at 1) (T.Insert (11, 1));
+      Core.Workload.entry ~proc:1 ~at:(at 1) (T.Insert (21, 2));
+      Core.Workload.entry ~proc:2 ~at:(at 1) (T.Insert (12, 1));
+      (* Reorg: engineering moves under the new VP (a subtree move). *)
+      Core.Workload.entry ~proc:2 ~at:(at 2) (T.Insert (1, 3));
+      (* Depth queries from different sites. *)
+      Core.Workload.entry ~proc:0 ~at:(at 3) (T.Depth 11);
+      Core.Workload.entry ~proc:1 ~at:(at 3) (T.Depth 21);
+      (* Sales is dissolved. *)
+      Core.Workload.entry ~proc:1 ~at:(at 4) (T.Delete 2);
+      Core.Workload.entry ~proc:0 ~at:(at 5) (T.Depth 21);
+      Core.Workload.entry ~proc:2 ~at:(at 5) T.Last_removed;
+    ]
+  in
+  List.iter
+    (fun { Core.Workload.proc; at; inv } ->
+      Sim.Engine.schedule_invoke cluster.engine ~at ~proc inv)
+    (Core.Workload.sort_schedule schedule);
+  Sim.Engine.run cluster.engine;
+  let ops = Sim.Trace.operations (Sim.Engine.trace cluster.engine) in
+  assert (Checker.is_linearizable ops);
+  assert (Algo.replicas_converged cluster);
+
+  Format.printf "query answers:@.";
+  List.iter
+    (fun (op : Checker.op) ->
+      match (op.inv, op.resp) with
+      | T.Depth id, T.Depth_is d ->
+          Format.printf "  depth(%s) = %s (asked by p%d at t=%s)@." (name id)
+            (match d with Some k -> string_of_int k | None -> "gone")
+            op.proc
+            (Rat.to_string op.inv_time)
+      | T.Last_removed, T.Removed_was r ->
+          Format.printf "  last dissolved: %s@."
+            (match r with Some id -> name id | None -> "-")
+      | _ -> ())
+    ops;
+
+  (* Final chart, reconstructed from any replica (they all agree). *)
+  let final = Algo.replica_state cluster 0 in
+  Format.printf "@.final chart (node -> manager):@.";
+  List.iter
+    (fun (child, parent) ->
+      Format.printf "  %-6s -> %s@." (name child) (name parent))
+    final.parents;
+
+  (* After the reorg, alice sits at depth 3: ceo -> vp -> eng -> alice;
+     sales and carol are gone. *)
+  assert (snd (T.apply final (T.Depth 11)) = T.Depth_is (Some 3));
+  assert (snd (T.apply final (T.Depth 2)) = T.Depth_is None);
+  assert (snd (T.apply final (T.Depth 21)) = T.Depth_is None);
+  assert (snd (T.apply final T.Last_removed) = T.Removed_was (Some 2));
+  print_endline "\norg_chart OK"

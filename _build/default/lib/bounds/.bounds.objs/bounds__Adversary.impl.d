@@ -1,0 +1,1 @@
+lib/bounds/adversary.ml: Array Chop Format Fun List Printf Rat Shifting Sim Theorems

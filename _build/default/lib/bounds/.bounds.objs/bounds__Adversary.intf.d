@@ -1,0 +1,1 @@
+lib/bounds/adversary.mli: Format Rat Sim

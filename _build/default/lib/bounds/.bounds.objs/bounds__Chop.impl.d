@@ -1,0 +1,1 @@
+lib/bounds/chop.ml: Array Hashtbl List Option Rat Shifting Sim

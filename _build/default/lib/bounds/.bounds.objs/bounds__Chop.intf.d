@@ -1,0 +1,1 @@
+lib/bounds/chop.mli: Rat Sim

@@ -1,0 +1,1 @@
+lib/bounds/diagram.ml: Buffer Bytes List Printf Rat Sim Stdlib String

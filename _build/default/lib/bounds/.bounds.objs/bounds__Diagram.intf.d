@@ -1,0 +1,1 @@
+lib/bounds/diagram.mli: Rat Sim

@@ -1,0 +1,1 @@
+lib/bounds/fragments.ml: Array Chop Format List Rat Shifting Sim

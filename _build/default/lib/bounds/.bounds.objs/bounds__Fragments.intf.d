@@ -1,0 +1,1 @@
+lib/bounds/fragments.mli: Format Rat Sim

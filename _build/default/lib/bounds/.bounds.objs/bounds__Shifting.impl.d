@@ -1,0 +1,1 @@
+lib/bounds/shifting.ml: Array List Rat Sim

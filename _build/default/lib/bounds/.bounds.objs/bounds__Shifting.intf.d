@@ -1,0 +1,1 @@
+lib/bounds/shifting.mli: Rat Sim

@@ -1,0 +1,1 @@
+lib/bounds/stress.ml: Adversary Array Core Lin List Rat Shifting Sim Spec

@@ -1,0 +1,1 @@
+lib/bounds/stress.mli: Rat Sim Spec

@@ -1,0 +1,1 @@
+lib/bounds/tables.ml: Format List Printf Rat Sim String Theorems

@@ -1,0 +1,112 @@
+(** The chop procedure (paper §4.1, Lemma 2).
+
+    Shifting a run with pair-wise uniform delays can leave exactly one
+    ordered pair [(s, r)] with an invalid delay.  [chop] truncates each
+    process's timed view just before the invalid delay could matter:
+
+    - [p_r]'s view ends just before [t* = t_m + min(d_sr, delta)],
+      where [t_m] is the send time of the first message from [p_s] to
+      [p_r] and [delta] is a parameter in [[d - u, d]];
+    - every other [p_i]'s view ends just before [t* + sp(r, i)], where
+      [sp] is the shortest-path distance from [p_r] to [p_i] with
+      respect to the delay matrix.
+
+    Lemma 2: the result is a run fragment with pair-wise uniform, all
+    valid delays — every message received in the fragment was sent in
+    it, no invalid-delay message is received, and any message sent but
+    not received has its recipient chopped within [d] of the send. *)
+
+(* All-pairs shortest paths over the (positive) off-diagonal delays:
+   Floyd-Warshall with exact rationals; n is tiny. *)
+let shortest_paths matrix =
+  let n = Array.length matrix in
+  let dist = Array.make_matrix n n Rat.zero in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then dist.(i).(j) <- matrix.(i).(j)
+    done
+  done;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && i <> k && j <> k then begin
+          let via = Rat.add dist.(i).(k) dist.(k).(j) in
+          if Rat.lt via dist.(i).(j) then dist.(i).(j) <- via
+        end
+      done
+    done
+  done;
+  dist
+
+(* The real time just before which each process's view is cut. *)
+let chop_times ~matrix ~invalid:(s, r) ~t_m ~delta =
+  let n = Array.length matrix in
+  let t_star = Rat.add t_m (Rat.min matrix.(s).(r) delta) in
+  let sp = shortest_paths matrix in
+  Array.init n (fun i ->
+      if i = r then t_star else Rat.add t_star sp.(r).(i))
+
+(* Truncate a trace: keep only events strictly before the owning
+   process's cut time. *)
+let chop_trace trace ~cuts =
+  let keep event =
+    Rat.lt (Sim.Trace.event_time event) cuts.(Shifting.event_owner event)
+  in
+  Sim.Trace.of_events (List.filter keep (Sim.Trace.events trace))
+
+(** {1 Lemma 2 property checks} *)
+
+(* Every delivery kept by the chop has its send kept too (matched by
+   source, destination and arrival time). *)
+let receives_have_sends chopped =
+  let events = Sim.Trace.events chopped in
+  let sends = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Sim.Trace.Send { time; src; dst; delay; _ } ->
+          let arrival = Rat.add time delay in
+          let key = (src, dst, Rat.to_string arrival) in
+          Hashtbl.replace sends key (1 + Option.value ~default:0 (Hashtbl.find_opt sends key))
+      | _ -> ())
+    events;
+  List.for_all
+    (function
+      | Sim.Trace.Deliver { time; src; dst; _ } ->
+          let key = (src, dst, Rat.to_string time) in
+          (match Hashtbl.find_opt sends key with
+          | Some count when count > 0 ->
+              Hashtbl.replace sends key (count - 1);
+              true
+          | Some _ | None -> false)
+      | _ -> true)
+    events
+
+(* No message with an out-of-range delay is received in the fragment. *)
+let no_invalid_delay_received (model : Sim.Model.t) chopped ~cuts =
+  List.for_all
+    (function
+      | Sim.Trace.Send { time; dst; delay; _ } ->
+          let arrival = Rat.add time delay in
+          let received = Rat.lt arrival cuts.(dst) in
+          (not received) || Sim.Model.delay_valid model delay
+      | _ -> true)
+    (Sim.Trace.events chopped)
+
+(* Admissibility clause for unreceived messages: if a send at [t] has
+   no matching receive, the recipient's view ends before [t + d]. *)
+let unreceived_messages_ok (model : Sim.Model.t) chopped ~cuts =
+  List.for_all
+    (function
+      | Sim.Trace.Send { time; dst; delay; _ } ->
+          let arrival = Rat.add time delay in
+          let received = Rat.lt arrival cuts.(dst) in
+          received || Rat.lt cuts.(dst) (Rat.add time model.d)
+          || Rat.equal cuts.(dst) (Rat.add time model.d)
+      | _ -> true)
+    (Sim.Trace.events chopped)
+
+(* Full Lemma 2 conclusion for a chopped trace. *)
+let lemma2_holds model chopped ~cuts =
+  receives_have_sends chopped
+  && no_invalid_delay_received model chopped ~cuts
+  && unreceived_messages_ok model chopped ~cuts

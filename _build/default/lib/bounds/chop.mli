@@ -1,0 +1,42 @@
+(** The chop procedure (paper §4.1, Lemma 2).
+
+    After a shift leaves exactly one ordered pair [(s, r)] with an
+    invalid delay, [chop] truncates each process's timed view just
+    before the invalid delay could matter, yielding a run fragment with
+    all-valid pair-wise uniform delays. *)
+
+val shortest_paths : Rat.t array array -> Rat.t array array
+(** All-pairs shortest paths over the off-diagonal delays
+    (Floyd-Warshall, exact rationals). *)
+
+val chop_times :
+  matrix:Rat.t array array ->
+  invalid:int * int ->
+  t_m:Rat.t ->
+  delta:Rat.t ->
+  Rat.t array
+(** Cut times: [p_r] at [t* = t_m + min(d_sr, delta)] where [t_m] is
+    the first send time on the invalid pair [(s, r)]; every other
+    [p_i] at [t* + sp(r, i)]. *)
+
+val chop_trace :
+  ('msg, 'inv, 'resp) Sim.Trace.t ->
+  cuts:Rat.t array ->
+  ('msg, 'inv, 'resp) Sim.Trace.t
+(** Keep only events strictly before the owning process's cut. *)
+
+(** {1 Lemma 2 property checks} *)
+
+val receives_have_sends : ('msg, 'inv, 'resp) Sim.Trace.t -> bool
+(** Every delivery kept by the chop has its send kept too. *)
+
+val no_invalid_delay_received :
+  Sim.Model.t -> ('msg, 'inv, 'resp) Sim.Trace.t -> cuts:Rat.t array -> bool
+
+val unreceived_messages_ok :
+  Sim.Model.t -> ('msg, 'inv, 'resp) Sim.Trace.t -> cuts:Rat.t array -> bool
+(** Unreceived sends have their recipient chopped within [d]. *)
+
+val lemma2_holds :
+  Sim.Model.t -> ('msg, 'inv, 'resp) Sim.Trace.t -> cuts:Rat.t array -> bool
+(** Conjunction of the three conclusions above. *)

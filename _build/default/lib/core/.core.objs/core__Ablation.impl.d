@@ -1,0 +1,1 @@
+lib/core/ablation.ml: Array Format Lin List Printf Random Rat Sim Spec Workload Wtlw

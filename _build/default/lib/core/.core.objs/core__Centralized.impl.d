@@ -1,0 +1,1 @@
+lib/core/centralized.ml: Option Sim Spec

@@ -1,0 +1,1 @@
+lib/core/centralized.mli: Rat Sim Spec

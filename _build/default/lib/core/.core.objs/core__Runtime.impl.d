@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Centralized Format Lin List Metrics Option Printf Random Rat Sim Spec Tob Workload Wtlw

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Format Lin Metrics Rat Sim Spec Workload

@@ -1,0 +1,1 @@
+lib/core/tob.ml: Array Rat Sim Spec Timestamp

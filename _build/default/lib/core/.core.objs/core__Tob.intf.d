@@ -1,0 +1,1 @@
+lib/core/tob.mli: Rat Sim Spec

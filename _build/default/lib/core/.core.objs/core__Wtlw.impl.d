@@ -1,0 +1,1 @@
+lib/core/wtlw.ml: Array Rat Sim Spec Timestamp

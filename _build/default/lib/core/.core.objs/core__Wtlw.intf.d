@@ -1,0 +1,1 @@
+lib/core/wtlw.mli: Rat Sim Spec

@@ -1,0 +1,52 @@
+(** Folklore baseline 1 (paper §1): the centralized algorithm.
+
+    Every invocation is forwarded to a distinguished process [p_0],
+    which applies it to the single authoritative copy in arrival order
+    and sends the response back.  Operations are linearized by the
+    order in which [p_0] applies them; each operation takes up to [2d]
+    (one request plus one reply), except operations invoked at [p_0]
+    itself, which are applied immediately and take zero time. *)
+
+module Make (T : Spec.Data_type.S) = struct
+  type msg =
+    | Request of { inv : T.invocation }
+    | Reply of { resp : T.response }
+
+  type tag = unit (* the centralized algorithm sets no timers *)
+
+  type engine = (msg, tag, T.invocation, T.response) Sim.Engine.t
+
+  type t = { engine : engine; mutable master : T.state }
+
+  let coordinator = 0
+
+  let create ~(model : Sim.Model.t) ~offsets ~delay () =
+    let cluster = ref None in
+    let get () = Option.get !cluster in
+    let apply_master inv =
+      let t = get () in
+      let state', resp = T.apply t.master inv in
+      t.master <- state';
+      resp
+    in
+    let on_invoke (ctx : (msg, tag, T.response) Sim.Engine.ctx) inv =
+      if ctx.self = coordinator then ctx.respond (apply_master inv)
+      else ctx.send ~dst:coordinator (Request { inv })
+    in
+    let on_receive (ctx : (msg, tag, T.response) Sim.Engine.ctx) ~src msg =
+      match msg with
+      | Request { inv } ->
+          assert (ctx.self = coordinator);
+          ctx.send ~dst:src (Reply { resp = apply_master inv })
+      | Reply { resp } -> ctx.respond resp
+    in
+    let on_timer _ctx (() : tag) = assert false (* no timers are set *) in
+    let engine =
+      Sim.Engine.create ~model ~offsets ~delay
+        ~handlers:{ on_invoke; on_receive; on_timer }
+        ()
+    in
+    let t = { engine; master = T.initial } in
+    cluster := Some t;
+    t
+end

@@ -1,0 +1,25 @@
+(** Folklore baseline 1 (paper §1): the centralized algorithm.
+
+    Every invocation is forwarded to the distinguished process [p_0],
+    which applies it to the single authoritative copy in arrival order
+    and replies.  Linearization order = application order at [p_0];
+    each operation takes up to [2d] (request + reply), and operations
+    invoked at [p_0] itself are free. *)
+
+module Make (T : Spec.Data_type.S) : sig
+  type msg
+  type tag
+  type engine = (msg, tag, T.invocation, T.response) Sim.Engine.t
+
+  type t = { engine : engine; mutable master : T.state }
+
+  val coordinator : int
+  (** Process id of the distinguished process (0). *)
+
+  val create :
+    model:Sim.Model.t ->
+    offsets:Rat.t array ->
+    delay:Sim.Net.t ->
+    unit ->
+    t
+end

@@ -1,0 +1,56 @@
+(** Latency measurement over completed operations.
+
+    The paper's complexity measure [|OP|] is the supremum of
+    response-minus-invocation time over all admissible runs.  For the
+    paper's algorithm the latency of an operation is timer-determined
+    (a constant per class), so the maximum over any run equals the true
+    bound; for the baselines, adversarial delay schedules realize the
+    worst case. *)
+
+type summary = { count : int; min : Rat.t; max : Rat.t; mean : Rat.t }
+
+let latency (op : ('inv, 'resp) Sim.Trace.operation) =
+  Rat.sub op.resp_time op.inv_time
+
+let summarize = function
+  | [] -> None
+  | latencies ->
+      let count = List.length latencies in
+      Some
+        {
+          count;
+          min = Rat.min_list latencies;
+          max = Rat.max_list latencies;
+          mean = Rat.div_int (Rat.sum latencies) count;
+        }
+
+(* Group latencies by an operation-derived key, preserving first-seen
+   key order. *)
+let group_by ~key ops =
+  let order = ref [] in
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let k = key op in
+      if not (Hashtbl.mem table k) then begin
+        order := k :: !order;
+        Hashtbl.add table k []
+      end;
+      Hashtbl.replace table k (latency op :: Hashtbl.find table k))
+    ops;
+  List.rev_map
+    (fun k -> (k, Option.get (summarize (List.rev (Hashtbl.find table k)))))
+    !order
+
+let by_op ~op_of ops = group_by ~key:(fun op -> op_of op.Sim.Trace.inv) ops
+
+let by_kind ~kind_of ops = group_by ~key:(fun op -> kind_of op.Sim.Trace.inv) ops
+
+let max_latency ops =
+  match ops with
+  | [] -> None
+  | _ -> Some (Rat.max_list (List.map latency ops))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d min=%a max=%a mean=%a" s.count Rat.pp s.min Rat.pp
+    s.max Rat.pp s.mean

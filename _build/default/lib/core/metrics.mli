@@ -1,0 +1,31 @@
+(** Latency measurement over completed operations.
+
+    The paper's complexity measure [|OP|] is the supremum of response
+    minus invocation time over all admissible runs.  For the paper's
+    algorithm latencies are timer-determined constants per class, so
+    measured maxima equal the true bounds; for the baselines,
+    adversarial delay schedules realize the worst case. *)
+
+type summary = { count : int; min : Rat.t; max : Rat.t; mean : Rat.t }
+
+val latency : ('inv, 'resp) Sim.Trace.operation -> Rat.t
+(** [resp_time - inv_time]. *)
+
+val summarize : Rat.t list -> summary option
+(** [None] on the empty list; the mean is exact (rational). *)
+
+val by_op :
+  op_of:('inv -> string) ->
+  ('inv, 'resp) Sim.Trace.operation list ->
+  (string * summary) list
+(** Latency summaries grouped by operation name, in first-seen order. *)
+
+val by_kind :
+  kind_of:('inv -> Spec.Op_kind.t) ->
+  ('inv, 'resp) Sim.Trace.operation list ->
+  (Spec.Op_kind.t * summary) list
+(** Latency summaries grouped by operation class. *)
+
+val max_latency : ('inv, 'resp) Sim.Trace.operation list -> Rat.t option
+
+val pp_summary : Format.formatter -> summary -> unit

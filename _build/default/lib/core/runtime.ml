@@ -1,0 +1,121 @@
+(** End-to-end harness: build a cluster running a chosen algorithm,
+    drive a workload through it, and distill the trace into a report —
+    completed operations, a machine-checked linearization, and latency
+    summaries per operation and per class. *)
+
+module Make (T : Spec.Data_type.S) = struct
+  module Sem = Spec.Data_type.Semantics (T)
+  module Checker = Lin.Checker.Make (T)
+  module Wtlw_impl = Wtlw.Make (T)
+  module Centralized_impl = Centralized.Make (T)
+  module Tob_impl = Tob.Make (T)
+
+  type algorithm = Wtlw of { x : Rat.t } | Centralized | Tob
+
+  let algorithm_name = function
+    | Wtlw { x } -> Printf.sprintf "wtlw(X=%s)" (Rat.to_string x)
+    | Centralized -> "centralized"
+    | Tob -> "total-order-broadcast"
+
+  type workload =
+    | Schedule of T.invocation Workload.entry list
+    | Closed_loop of { per_proc : int; think : Rat.t; seed : int }
+
+  type report = {
+    algorithm : string;
+    operations : (T.invocation, T.response) Sim.Trace.operation list;
+    linearization : (T.invocation, T.response) Sim.Trace.operation list option;
+    by_op : (string * Metrics.summary) list;
+    by_kind : (Spec.Op_kind.t * Metrics.summary) list;
+    messages : int;
+    events : int;
+    delays_admissible : bool;
+  }
+
+  let kind_of inv = Sem.kind_of inv
+
+  (* Drive one engine (of any algorithm) through the workload and
+     collect the trace. *)
+  let drive (type m g) ~(model : Sim.Model.t)
+      (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
+    (match workload with
+    | Schedule entries ->
+        List.iter
+          (fun { Workload.proc; at; inv } ->
+            Sim.Engine.schedule_invoke engine ~at ~proc inv)
+          (Workload.sort_schedule entries)
+    | Closed_loop { per_proc; think; seed } ->
+        let rng = Random.State.make [| seed |] in
+        let remaining = Array.make model.n per_proc in
+        Sim.Engine.set_response_callback engine
+          (fun ~proc ~inv:_ ~resp:_ ~time ->
+            if remaining.(proc) > 0 then begin
+              remaining.(proc) <- remaining.(proc) - 1;
+              Sim.Engine.schedule_invoke engine ~at:(Rat.add time think) ~proc
+                (T.gen_invocation rng)
+            end);
+        for proc = 0 to model.n - 1 do
+          remaining.(proc) <- remaining.(proc) - 1;
+          Sim.Engine.schedule_invoke engine
+            ~at:(Rat.make proc (2 * model.n))
+            ~proc (T.gen_invocation rng)
+        done);
+    Sim.Engine.run engine;
+    Sim.Engine.trace engine
+
+  let report_of_trace ~model ~algorithm ~check trace =
+    let operations = Sim.Trace.operations trace in
+    let events = List.length (Sim.Trace.events trace) in
+    let messages = List.length (Sim.Trace.message_delays trace) in
+    {
+      algorithm;
+      operations;
+      linearization = (if check then Checker.check operations else None);
+      by_op = Metrics.by_op ~op_of:T.op_of operations;
+      by_kind = Metrics.by_kind ~kind_of operations;
+      messages;
+      events;
+      delays_admissible = Sim.Trace.delays_admissible model trace;
+    }
+
+  let run ?(check = true) ~(model : Sim.Model.t) ~offsets ~delay ~algorithm
+      ~workload () =
+    let name = algorithm_name algorithm in
+    match algorithm with
+    | Wtlw { x } ->
+        let cluster = Wtlw_impl.create ~model ~x ~offsets ~delay () in
+        report_of_trace ~model ~algorithm:name ~check
+          (drive ~model cluster.engine workload)
+    | Centralized ->
+        let cluster = Centralized_impl.create ~model ~offsets ~delay () in
+        report_of_trace ~model ~algorithm:name ~check
+          (drive ~model cluster.engine workload)
+    | Tob ->
+        let cluster = Tob_impl.create ~model ~offsets ~delay () in
+        report_of_trace ~model ~algorithm:name ~check
+          (drive ~model cluster.engine workload)
+
+  (* A run is accepted when every operation completed, all delays were
+     admissible, and a linearization was found. *)
+  let ok report =
+    report.delays_admissible && Option.is_some report.linearization
+
+  let pp_report ppf r =
+    Format.fprintf ppf "@[<v>%s: %d operations, %d messages, %d events@,"
+      r.algorithm
+      (List.length r.operations)
+      r.messages r.events;
+    Format.fprintf ppf "linearizable: %b; delays admissible: %b@,"
+      (Option.is_some r.linearization)
+      r.delays_admissible;
+    List.iter
+      (fun (op, s) ->
+        Format.fprintf ppf "  %-16s %a@," op Metrics.pp_summary s)
+      r.by_op;
+    List.iter
+      (fun (kind, s) ->
+        Format.fprintf ppf "  [%s] %a@," (Spec.Op_kind.to_string kind)
+          Metrics.pp_summary s)
+      r.by_kind;
+    Format.fprintf ppf "@]"
+end

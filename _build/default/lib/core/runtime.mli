@@ -1,0 +1,56 @@
+(** End-to-end harness: build a cluster running a chosen algorithm,
+    drive a workload through it, and distill the trace into a report —
+    completed operations, a machine-checked linearization, and latency
+    summaries per operation and per class. *)
+
+module Make (T : Spec.Data_type.S) : sig
+  module Sem : module type of Spec.Data_type.Semantics (T)
+  module Checker : module type of Lin.Checker.Make (T)
+
+  type algorithm =
+    | Wtlw of { x : Rat.t }  (** the paper's Algorithm 1 (repaired timing) *)
+    | Centralized  (** folklore: forward everything to [p_0] *)
+    | Tob  (** folklore: clock-based total-order broadcast *)
+
+  val algorithm_name : algorithm -> string
+
+  type workload =
+    | Schedule of T.invocation Workload.entry list
+        (** open loop: explicit invocation times (caller must respect
+            the one-pending-operation constraint) *)
+    | Closed_loop of { per_proc : int; think : Rat.t; seed : int }
+        (** each process performs [per_proc] random operations, each
+            invoked [think] after the previous response *)
+
+  type report = {
+    algorithm : string;
+    operations : (T.invocation, T.response) Sim.Trace.operation list;
+    linearization : (T.invocation, T.response) Sim.Trace.operation list option;
+        (** a legal real-time-respecting total order, when [check] was
+            set and one exists *)
+    by_op : (string * Metrics.summary) list;
+    by_kind : (Spec.Op_kind.t * Metrics.summary) list;
+    messages : int;
+    events : int;
+    delays_admissible : bool;
+  }
+
+  val kind_of : T.invocation -> Spec.Op_kind.t
+
+  val run :
+    ?check:bool ->
+    model:Sim.Model.t ->
+    offsets:Rat.t array ->
+    delay:Sim.Net.t ->
+    algorithm:algorithm ->
+    workload:workload ->
+    unit ->
+    report
+  (** Build, drive to quiescence, and summarize.  [check] (default
+      true) controls whether the linearizability checker runs. *)
+
+  val ok : report -> bool
+  (** Delays admissible and a linearization found. *)
+
+  val pp_report : Format.formatter -> report -> unit
+end

@@ -1,0 +1,24 @@
+(** Operation timestamps (paper §5.1): the pair (local invocation clock
+    time, invoking process id), ordered lexicographically.  Process ids
+    break ties, so timestamps of distinct operations are distinct, and
+    timestamps assigned at one process strictly increase (operations at
+    a process are sequential and take positive time). *)
+
+type t = { time : Rat.t; proc : int }
+
+let make ~time ~proc = { time; proc }
+
+let compare a b =
+  let c = Rat.compare a.time b.time in
+  if c <> 0 then c else Stdlib.compare a.proc b.proc
+
+let equal a b = compare a b = 0
+let le a b = compare a b <= 0
+let lt a b = compare a b < 0
+let pp ppf t = Format.fprintf ppf "(%a, p%d)" Rat.pp t.time t.proc
+
+module Map = Stdlib.Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,21 @@
+(** Operation timestamps (paper §5.1): the pair (local invocation clock
+    time, invoking process id), ordered lexicographically.
+
+    Process ids break ties, so timestamps of distinct operations are
+    distinct; timestamps assigned at one process strictly increase
+    because operations there are sequential and take positive time.
+    Algorithm 1 executes all mutators in timestamp order at every
+    replica. *)
+
+type t = { time : Rat.t; proc : int }
+
+val make : time:Rat.t -> proc:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val le : t -> t -> bool
+val lt : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Maps keyed by timestamp: Algorithm 1's [To_Execute] priority
+    queues. *)
+module Map : Stdlib.Map.S with type key = t

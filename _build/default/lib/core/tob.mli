@@ -1,0 +1,27 @@
+(** Folklore baseline 2 (paper §1): replication over a clock-based
+    total-order broadcast.
+
+    Every operation — accessor or mutator alike — is timestamped,
+    broadcast, and executed by all replicas at local time
+    [ts + d + eps], which totally orders them; the invoker responds
+    when it executes its own operation, so every operation takes
+    exactly [d + eps].  The paper's algorithm beats this baseline on
+    pure accessors and pure mutators. *)
+
+module Make (T : Spec.Data_type.S) : sig
+  type msg
+  type tag
+  type pstate
+  type engine = (msg, tag, T.invocation, T.response) Sim.Engine.t
+
+  type t = { engine : engine; states : pstate array }
+
+  val create :
+    model:Sim.Model.t ->
+    offsets:Rat.t array ->
+    delay:Sim.Net.t ->
+    unit ->
+    t
+
+  val replica_state : t -> int -> T.state
+end

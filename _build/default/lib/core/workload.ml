@@ -1,0 +1,59 @@
+(** Workload schedules: which process invokes what, and when.
+
+    The §2.2 model allows at most one pending operation per process, so
+    open-loop schedules must space invocations at a process further
+    apart than the worst-case operation latency (at most [d + eps] for
+    the paper's algorithm, [2d] for the centralized baseline — [2d +
+    eps] is always safe).  Closed-loop workloads (invoke the next
+    operation when the previous one responds) are driven by
+    {!Runtime} via the engine's response callback and need no spacing
+    assumption. *)
+
+type 'inv entry = { proc : int; at : Rat.t; inv : 'inv }
+
+let entry ~proc ~at inv = { proc; at; inv }
+
+(* Every process invokes [per_proc] operations, the k-th at
+   [start + k*spacing + proc*stagger]. *)
+let open_loop ~n ~per_proc ~spacing ?(stagger = Rat.zero) ?(start = Rat.zero)
+    ~gen () =
+  List.concat
+    (List.init n (fun proc ->
+         List.init per_proc (fun k ->
+             let at =
+               Rat.add
+                 (Rat.add start (Rat.mul_int spacing k))
+                 (Rat.mul_int stagger proc)
+             in
+             { proc; at; inv = gen ~proc ~k })))
+
+(* Open-loop schedule with invocations drawn from the data type's
+   random generator; deterministic for a fixed seed. *)
+let random_open_loop ~n ~per_proc ~spacing ?stagger ?start ~seed ~gen_invocation
+    () =
+  let rng = Random.State.make [| seed |] in
+  (* Pre-draw in a fixed order so the schedule does not depend on
+     evaluation order. *)
+  let draws =
+    Array.init (n * per_proc) (fun _ -> gen_invocation rng)
+  in
+  open_loop ~n ~per_proc ~spacing ?stagger ?start
+    ~gen:(fun ~proc ~k -> draws.((proc * per_proc) + k))
+    ()
+
+(* A schedule in which distinct processes invoke concurrently: process
+   [i] invokes its k-th operation at [start + k*spacing + jitter_i]
+   where jitter cycles through small distinct offsets, creating real
+   overlap between operations at different processes. *)
+let concurrent_bursts ~n ~rounds ~spacing ?(start = Rat.zero) ~gen () =
+  List.concat
+    (List.init n (fun proc ->
+         List.init rounds (fun k ->
+             let jitter = Rat.make proc (4 * n) in
+             let at =
+               Rat.add (Rat.add start (Rat.mul_int spacing k)) jitter
+             in
+             { proc; at; inv = gen ~proc ~k })))
+
+let sort_schedule entries =
+  List.stable_sort (fun a b -> Rat.compare a.at b.at) entries

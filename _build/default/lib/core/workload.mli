@@ -1,0 +1,51 @@
+(** Workload schedules: which process invokes what, and when.
+
+    The §2.2 model allows at most one pending operation per process, so
+    open-loop schedules must space invocations at a process further
+    apart than the worst-case operation latency ([2d + eps] is always
+    safe).  Closed-loop workloads (next invocation upon the previous
+    response) are driven by {!Runtime} and need no spacing
+    assumption. *)
+
+type 'inv entry = { proc : int; at : Rat.t; inv : 'inv }
+
+val entry : proc:int -> at:Rat.t -> 'inv -> 'inv entry
+
+val open_loop :
+  n:int ->
+  per_proc:int ->
+  spacing:Rat.t ->
+  ?stagger:Rat.t ->
+  ?start:Rat.t ->
+  gen:(proc:int -> k:int -> 'inv) ->
+  unit ->
+  'inv entry list
+(** Every process invokes [per_proc] operations, the [k]-th at
+    [start + k*spacing + proc*stagger]. *)
+
+val random_open_loop :
+  n:int ->
+  per_proc:int ->
+  spacing:Rat.t ->
+  ?stagger:Rat.t ->
+  ?start:Rat.t ->
+  seed:int ->
+  gen_invocation:(Random.State.t -> 'inv) ->
+  unit ->
+  'inv entry list
+(** {!open_loop} with invocations drawn from the data type's random
+    generator; deterministic for a fixed seed. *)
+
+val concurrent_bursts :
+  n:int ->
+  rounds:int ->
+  spacing:Rat.t ->
+  ?start:Rat.t ->
+  gen:(proc:int -> k:int -> 'inv) ->
+  unit ->
+  'inv entry list
+(** Rounds of genuinely overlapping invocations: in each round all [n]
+    processes invoke within a fraction of a time unit of each other. *)
+
+val sort_schedule : 'inv entry list -> 'inv entry list
+(** Stable sort by invocation time. *)

@@ -1,0 +1,1 @@
+lib/lin/checker.ml: Array Format Fun Hashtbl List Option Rat Sim Spec String

@@ -1,0 +1,1 @@
+lib/lin/checker.mli: Format Sim Spec

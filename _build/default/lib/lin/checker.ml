@@ -1,0 +1,72 @@
+(** Linearizability checker (paper §2.3).
+
+    Given the completed operations of a run — invocation and response
+    real times included — decide whether some permutation [pi] of the
+    operations is (i) legal for the sequential specification and
+    (ii) consistent with the real-time order: if [op1]'s response time
+    precedes [op2]'s invocation time then [op1] comes before [op2].
+
+    The search is the classic Wing–Gong DFS: repeatedly choose a
+    {e minimal} remaining operation (one not preceded by any other
+    remaining operation) whose recorded response matches the
+    specification, and recurse.  Visited (remaining-set, state) pairs
+    are memoized, which keeps the search polynomial for the
+    low-concurrency histories our simulator produces (at most one
+    pending operation per process). *)
+
+module Make (T : Spec.Data_type.S) = struct
+  type op = (T.invocation, T.response) Sim.Trace.operation
+
+  let pp_op ppf (op : op) =
+    Format.fprintf ppf "p%d: %a -> %a @@ [%a, %a]" op.proc T.pp_invocation
+      op.inv T.pp_response op.resp Rat.pp op.inv_time Rat.pp op.resp_time
+
+  (* [a] precedes [b] when [a] responds strictly before [b] is invoked. *)
+  let precedes (a : op) (b : op) = Rat.lt a.resp_time b.inv_time
+
+  let check (ops : op list) : op list option =
+    let arr = Array.of_list ops in
+    let total = Array.length arr in
+    let dead = Hashtbl.create 97 in
+    let key remaining state =
+      String.concat "," (List.map string_of_int remaining)
+      ^ "|" ^ T.show_state state
+    in
+    let rec dfs remaining state acc =
+      match remaining with
+      | [] -> Some (List.rev acc)
+      | _ ->
+          let k = key remaining state in
+          if Hashtbl.mem dead k then None
+          else begin
+            let minimal i =
+              List.for_all
+                (fun j -> j = i || not (precedes arr.(j) arr.(i)))
+                remaining
+            in
+            let try_first i =
+              if not (minimal i) then None
+              else
+                let op = arr.(i) in
+                let state', resp = T.apply state op.inv in
+                if T.equal_response resp op.resp then
+                  dfs
+                    (List.filter (fun j -> j <> i) remaining)
+                    state' (op :: acc)
+                else None
+            in
+            match List.find_map try_first remaining with
+            | Some _ as witness -> witness
+            | None ->
+                Hashtbl.add dead k ();
+                None
+          end
+    in
+    dfs (List.init total Fun.id) T.initial []
+
+  let is_linearizable ops = Option.is_some (check ops)
+
+  (* Convenience: check a whole trace produced by the engine. *)
+  let check_trace trace = check (Sim.Trace.operations trace)
+  let trace_linearizable trace = Option.is_some (check_trace trace)
+end

@@ -1,0 +1,29 @@
+(** Linearizability checker (paper §2.3).
+
+    Given the completed operations of a run — with invocation and
+    response real times — decide whether some permutation is (i) legal
+    for the sequential specification and (ii) consistent with the
+    real-time order of non-overlapping operations.  Wing-Gong style
+    DFS with (remaining-set, state) memoization; intended for the
+    low-concurrency histories the simulator produces (at most one
+    pending operation per process). *)
+
+module Make (T : Spec.Data_type.S) : sig
+  type op = (T.invocation, T.response) Sim.Trace.operation
+
+  val pp_op : Format.formatter -> op -> unit
+
+  val precedes : op -> op -> bool
+  (** [precedes a b]: [a] responds strictly before [b] is invoked. *)
+
+  val check : op list -> op list option
+  (** A witness linearization, or [None].  Histories must be complete
+      (every operation has both times). *)
+
+  val is_linearizable : op list -> bool
+
+  val check_trace :
+    ('msg, T.invocation, T.response) Sim.Trace.t -> op list option
+
+  val trace_linearizable : ('msg, T.invocation, T.response) Sim.Trace.t -> bool
+end

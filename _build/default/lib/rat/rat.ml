@@ -1,0 +1,79 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else begin
+    let num, den = if den < 0 then (-num, -den) else (num, den) in
+    let g = gcd (Stdlib.abs num) den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+  end
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let num t = t.num
+let den t = t.den
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero
+  else make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let abs a = { a with num = Stdlib.abs a.num }
+let mul_int a k = make (a.num * k) a.den
+let div_int a k = if k = 0 then raise Division_by_zero else make a.num (a.den * k)
+
+(* Cross-multiplication keeps comparison exact; denominators are positive. *)
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+let min a b = if le a b then a else b
+let max a b = if ge a b then a else b
+let sign a = Stdlib.compare a.num 0
+let is_zero a = a.num = 0
+
+let clamp ~lo ~hi x =
+  if gt lo hi then invalid_arg "Rat.clamp: lo > hi"
+  else min hi (max lo x)
+
+let in_range ~lo ~hi x = le lo x && le x hi
+let sum l = List.fold_left add zero l
+
+let min_list = function
+  | [] -> invalid_arg "Rat.min_list: empty list"
+  | x :: rest -> List.fold_left min x rest
+
+let max_list = function
+  | [] -> invalid_arg "Rat.max_list: empty list"
+  | x :: rest -> List.fold_left max x rest
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let to_string a =
+  if a.den = 1 then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+let hash a = (a.num * 31) lxor a.den
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) = lt
+  let ( <= ) = le
+  let ( > ) = gt
+  let ( >= ) = ge
+end

@@ -1,0 +1,1 @@
+lib/sim/clock_sync.ml: Array Engine Model Rat

@@ -1,0 +1,116 @@
+(** Clock synchronization à la Lundelius-Lynch, the substrate the paper
+    assumes (§5: "the optimal clock synchronization error eps is
+    (1 - 1/n)u ... algorithms for achieving this optimal error already
+    exist, so we proceed under the assumption that some such algorithm
+    has already synchronized the clocks").
+
+    This module makes that assumption executable.  Every process
+    broadcasts its local clock reading once; a receiver timestamps the
+    arrival and — knowing only that the delay lay in [[d - u, d]] —
+    estimates the sender/receiver clock difference with error at most
+    [u/2] by assuming the midpoint delay [d - u/2].  Each process then
+    adjusts its logical clock by the average of its estimates (its own
+    difference counting as 0).  Averaging over [n] processes leaves a
+    worst-case pairwise skew of [(1 - 1/n) u]: each pairwise error is
+    at most [u/2 + u/2 = u], but the two processes share [n - 2] of
+    the [n] averaged terms, which cancels [u/n] of it — Lundelius and
+    Lynch proved this bound optimal.
+
+    The engine's clocks are drift-free with fixed offsets, so one round
+    synchronizes forever; the output is the vector of {e adjusted}
+    offsets, which can be fed to a fresh engine running Algorithm 1
+    with [eps = (1 - 1/n) u]. *)
+
+type msg = Reading of Rat.t  (** the sender's local clock at send time *)
+
+type result = {
+  raw_offsets : Rat.t array;  (** the true offsets (ground truth) *)
+  adjustments : Rat.t array;  (** what each process adds to its clock *)
+  adjusted_offsets : Rat.t array;  (** raw + adjustment *)
+  achieved_skew : Rat.t;  (** max pairwise skew after adjustment *)
+  guaranteed_skew : Rat.t;  (** the Lundelius-Lynch bound (1 - 1/n) u *)
+}
+
+type pstate = {
+  (* Estimated clock differences (other minus self), indexed by peer;
+     the self entry stays 0. *)
+  estimates : Rat.t array;
+  mutable received : int;
+}
+
+let max_pairwise offsets =
+  let worst = ref Rat.zero in
+  Array.iter
+    (fun a ->
+      Array.iter
+        (fun b ->
+          let skew = Rat.abs (Rat.sub a b) in
+          if Rat.gt skew !worst then worst := skew)
+        offsets)
+    offsets;
+  !worst
+
+(* Run one synchronization round under the given true offsets and
+   delay model.  The [model]'s own eps is irrelevant here (it bounds
+   the pre-sync skew); pass a model whose eps admits [offsets]. *)
+let run ~(model : Model.t) ~offsets ~delay () =
+  let midpoint = Rat.sub model.d (Rat.div_int model.u 2) in
+  let states =
+    Array.init model.n (fun _ ->
+        { estimates = Array.make model.n Rat.zero; received = 0 })
+  in
+  let on_invoke (ctx : (msg, unit, unit) Engine.ctx) () =
+    ctx.broadcast (Reading ctx.local_time);
+    ctx.respond ()
+  in
+  let on_receive (ctx : (msg, unit, unit) Engine.ctx) ~src msg =
+    match msg with
+    | Reading sender_clock ->
+        let p = states.(ctx.self) in
+        (* If the delay were exactly the midpoint, the sender's clock
+           would now read [sender_clock + midpoint]; the difference to
+           our clock estimates [c_src - c_self] within +-u/2. *)
+        let estimate =
+          Rat.sub (Rat.add sender_clock midpoint) ctx.local_time
+        in
+        p.estimates.(src) <- estimate;
+        p.received <- p.received + 1
+  in
+  let on_timer _ctx () = () in
+  let engine =
+    Engine.create ~model ~offsets ~delay
+      ~handlers:{ on_invoke; on_receive; on_timer }
+      ()
+  in
+  (* Everyone broadcasts its reading at real time 0 (the trigger is an
+     invocation purely for plumbing; the "operation" acks at once). *)
+  for proc = 0 to model.n - 1 do
+    Engine.schedule_invoke engine ~at:Rat.zero ~proc ()
+  done;
+  Engine.run engine;
+  let adjustments =
+    Array.map
+      (fun p ->
+        assert (p.received = model.n - 1);
+        Rat.div_int (Rat.sum (Array.to_list p.estimates)) model.n)
+      states
+  in
+  let adjusted_offsets =
+    Array.init model.n (fun i -> Rat.add offsets.(i) adjustments.(i))
+  in
+  {
+    raw_offsets = Array.copy offsets;
+    adjustments;
+    adjusted_offsets;
+    achieved_skew = max_pairwise adjusted_offsets;
+    guaranteed_skew = Rat.mul model.u (Rat.make (model.n - 1) model.n);
+  }
+
+(* Re-center adjusted offsets so they can be fed to an engine whose
+   model uses the optimal eps: subtract the mean (a uniform shift of
+   all clocks changes no pairwise skew). *)
+let centered result =
+  let offsets = result.adjusted_offsets in
+  let n = Array.length offsets in
+  let mean = Rat.div_int (Rat.sum (Array.to_list offsets)) n in
+  Array.map (fun c -> Rat.sub c mean) offsets

@@ -1,0 +1,31 @@
+(** Clock synchronization à la Lundelius-Lynch — the substrate the
+    paper assumes (§5): one round of clock-reading exchange brings
+    drift-free clocks within the optimal bound [(1 - 1/n) u].
+
+    Each process broadcasts its local clock once; receivers estimate
+    pairwise clock differences assuming the midpoint delay
+    [d - u/2] (error at most [u/2]) and adjust by the average of their
+    estimates.  The output offsets can be fed to a fresh engine running
+    the paper's algorithm with [eps = (1 - 1/n) u]. *)
+
+type msg
+
+type result = {
+  raw_offsets : Rat.t array;  (** the true offsets (ground truth) *)
+  adjustments : Rat.t array;  (** what each process adds to its clock *)
+  adjusted_offsets : Rat.t array;  (** raw + adjustment *)
+  achieved_skew : Rat.t;  (** max pairwise skew after adjustment *)
+  guaranteed_skew : Rat.t;  (** the Lundelius-Lynch bound (1 - 1/n)u *)
+}
+
+val max_pairwise : Rat.t array -> Rat.t
+
+val run : model:Model.t -> offsets:Rat.t array -> delay:Net.t -> unit -> result
+(** One synchronization round.  [model.eps] only bounds the {e pre}-sync
+    skew — pass a loose model; the result's [achieved_skew] is always
+    at most [guaranteed_skew]. *)
+
+val centered : result -> Rat.t array
+(** Adjusted offsets re-centered on their mean (a uniform shift, so
+    pairwise skews are unchanged) — convenient for building a new
+    engine at the optimal [eps]. *)

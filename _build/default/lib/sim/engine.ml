@@ -1,0 +1,161 @@
+type ('msg, 'tag, 'resp) ctx = {
+  self : int;
+  n : int;
+  real_time : Rat.t;
+  local_time : Rat.t;
+  send : dst:int -> 'msg -> unit;
+  broadcast : 'msg -> unit;
+  set_timer_after : Rat.t -> 'tag -> int;
+  cancel_timer : int -> unit;
+  respond : 'resp -> unit;
+}
+
+type ('msg, 'tag, 'inv, 'resp) handlers = {
+  on_invoke : ('msg, 'tag, 'resp) ctx -> 'inv -> unit;
+  on_receive : ('msg, 'tag, 'resp) ctx -> src:int -> 'msg -> unit;
+  on_timer : ('msg, 'tag, 'resp) ctx -> 'tag -> unit;
+}
+
+type ('msg, 'tag, 'inv) queued =
+  | Ev_invoke of { proc : int; inv : 'inv }
+  | Ev_deliver of { src : int; dst : int; msg : 'msg }
+  | Ev_timer of { proc : int; id : int; tag : 'tag }
+
+type ('msg, 'tag, 'inv, 'resp) t = {
+  model : Model.t;
+  offsets : Rat.t array;
+  delay : Net.t;
+  handlers : ('msg, 'tag, 'inv, 'resp) handlers;
+  queue : ('msg, 'tag, 'inv) queued Event_queue.t;
+  trace : ('msg, 'inv, 'resp) Trace.t;
+  cancelled : (int, unit) Hashtbl.t;
+  pending : 'inv option array;
+  send_seq : int array array;
+  mutable now : Rat.t;
+  mutable next_timer_id : int;
+  mutable on_response :
+    proc:int -> inv:'inv -> resp:'resp -> time:Rat.t -> unit;
+}
+
+exception Step_limit_exceeded of int
+
+let create ~model ~offsets ~delay ~handlers () =
+  let n = (model : Model.t).n in
+  if Array.length offsets <> n then
+    invalid_arg "Engine.create: offsets length must equal model.n";
+  if not (Model.skew_valid model offsets) then
+    invalid_arg "Engine.create: clock offsets violate the skew bound";
+  {
+    model;
+    offsets = Array.copy offsets;
+    delay;
+    handlers;
+    queue = Event_queue.create ();
+    trace = Trace.create ();
+    cancelled = Hashtbl.create 64;
+    pending = Array.make n None;
+    send_seq = Array.make_matrix n n 0;
+    now = Rat.zero;
+    next_timer_id = 0;
+    on_response = (fun ~proc:_ ~inv:_ ~resp:_ ~time:_ -> ());
+  }
+
+let model t = t.model
+let offsets t = Array.copy t.offsets
+let now t = t.now
+let trace t = t.trace
+
+let schedule_invoke t ~at ~proc inv =
+  if Rat.lt at t.now then invalid_arg "Engine.schedule_invoke: time in past";
+  if proc < 0 || proc >= t.model.n then
+    invalid_arg "Engine.schedule_invoke: bad process id";
+  Event_queue.push t.queue ~time:at (Ev_invoke { proc; inv })
+
+let set_response_callback t callback = t.on_response <- callback
+
+let send_message t ~src ~dst msg =
+  if dst < 0 || dst >= t.model.n || dst = src then
+    invalid_arg "Engine: bad send destination";
+  let seq = t.send_seq.(src).(dst) in
+  t.send_seq.(src).(dst) <- seq + 1;
+  let delay = Net.delay t.delay ~src ~dst ~time:t.now ~seq in
+  Trace.record t.trace (Send { time = t.now; src; dst; delay; msg });
+  (* Priority 0: deliveries precede timers and invocations at the same
+     instant (closed-interval delay semantics). *)
+  Event_queue.push t.queue ~priority:0
+    ~time:(Rat.add t.now delay)
+    (Ev_deliver { src; dst; msg })
+
+let make_ctx t ~self =
+  let set_timer_after dur tag =
+    if Rat.sign dur < 0 then invalid_arg "Engine: negative timer duration";
+    let id = t.next_timer_id in
+    t.next_timer_id <- id + 1;
+    let expiry = Rat.add t.now dur in
+    Trace.record t.trace (Timer_set { time = t.now; proc = self; id; expiry });
+    Event_queue.push t.queue ~time:expiry (Ev_timer { proc = self; id; tag });
+    id
+  in
+  let cancel_timer id =
+    Hashtbl.replace t.cancelled id ();
+    Trace.record t.trace (Timer_cancel { time = t.now; proc = self; id })
+  in
+  let respond resp =
+    match t.pending.(self) with
+    | None -> invalid_arg "Engine: respond with no pending operation"
+    | Some inv ->
+        t.pending.(self) <- None;
+        Trace.record t.trace
+          (Respond { time = t.now; proc = self; inv; resp });
+        t.on_response ~proc:self ~inv ~resp ~time:t.now
+  in
+  let broadcast msg =
+    for dst = 0 to t.model.n - 1 do
+      if dst <> self then send_message t ~src:self ~dst msg
+    done
+  in
+  {
+    self;
+    n = t.model.n;
+    real_time = t.now;
+    local_time = Rat.add t.now t.offsets.(self);
+    send = (fun ~dst msg -> send_message t ~src:self ~dst msg);
+    broadcast;
+    set_timer_after;
+    cancel_timer;
+    respond;
+  }
+
+let dispatch t event =
+  match event with
+  | Ev_invoke { proc; inv } ->
+      (match t.pending.(proc) with
+      | Some _ ->
+          invalid_arg "Engine: invocation while an operation is pending"
+      | None -> ());
+      t.pending.(proc) <- Some inv;
+      Trace.record t.trace (Invoke { time = t.now; proc; inv });
+      t.handlers.on_invoke (make_ctx t ~self:proc) inv
+  | Ev_deliver { src; dst; msg } ->
+      Trace.record t.trace (Deliver { time = t.now; src; dst; msg });
+      t.handlers.on_receive (make_ctx t ~self:dst) ~src msg
+  | Ev_timer { proc; id; tag } ->
+      if not (Hashtbl.mem t.cancelled id) then begin
+        Trace.record t.trace (Timer_fire { time = t.now; proc; id });
+        t.handlers.on_timer (make_ctx t ~self:proc) tag
+      end
+
+let run ?(max_events = 1_000_000) t =
+  let steps = ref 0 in
+  let rec loop () =
+    match Event_queue.pop t.queue with
+    | None -> ()
+    | Some (time, event) ->
+        incr steps;
+        if !steps > max_events then raise (Step_limit_exceeded max_events);
+        assert (Rat.ge time t.now);
+        t.now <- time;
+        dispatch t event;
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,77 @@
+(** Discrete-event simulation engine for the paper's system model (§2.2).
+
+    The engine drives [n] processes, each a state machine whose
+    transitions are triggered by exactly the paper's three event kinds:
+    the receipt of a message, a timer going off, and the invocation of
+    an operation instance.  Each process [p_i] has a drift-free local
+    clock [local = real + offsets.(i)].
+
+    Type parameters: ['msg] inter-process messages, ['tag] timer tags,
+    ['inv] operation invocations, ['resp] operation responses. *)
+
+type ('msg, 'tag, 'inv, 'resp) t
+
+(** Capabilities available to a process while it handles one event.
+    Algorithms should consult only {!field-local_time}; [real_time] is
+    exposed for instrumentation and assertions. *)
+type ('msg, 'tag, 'resp) ctx = {
+  self : int;
+  n : int;
+  real_time : Rat.t;
+  local_time : Rat.t;
+  send : dst:int -> 'msg -> unit;
+  broadcast : 'msg -> unit;  (** send to every process except [self] *)
+  set_timer_after : Rat.t -> 'tag -> int;
+      (** [set_timer_after dur tag] schedules a timer [dur] time units
+          from now (durations are identical in local and real time since
+          clocks do not drift); returns a timer id for cancellation. *)
+  cancel_timer : int -> unit;
+  respond : 'resp -> unit;
+      (** Complete the pending operation at this process.
+          @raise Invalid_argument if no operation is pending. *)
+}
+
+type ('msg, 'tag, 'inv, 'resp) handlers = {
+  on_invoke : ('msg, 'tag, 'resp) ctx -> 'inv -> unit;
+  on_receive : ('msg, 'tag, 'resp) ctx -> src:int -> 'msg -> unit;
+  on_timer : ('msg, 'tag, 'resp) ctx -> 'tag -> unit;
+}
+
+val create :
+  model:Model.t ->
+  offsets:Rat.t array ->
+  delay:Net.t ->
+  handlers:('msg, 'tag, 'inv, 'resp) handlers ->
+  unit ->
+  ('msg, 'tag, 'inv, 'resp) t
+(** @raise Invalid_argument if [offsets] has length other than [model.n]
+    or the offsets violate the model's skew bound. *)
+
+val model : ('msg, 'tag, 'inv, 'resp) t -> Model.t
+val offsets : ('msg, 'tag, 'inv, 'resp) t -> Rat.t array
+val now : ('msg, 'tag, 'inv, 'resp) t -> Rat.t
+
+val schedule_invoke :
+  ('msg, 'tag, 'inv, 'resp) t -> at:Rat.t -> proc:int -> 'inv -> unit
+(** Schedule an operation invocation at real time [at] (which must not be
+    in the past).  The user must respect the at-most-one-pending-operation
+    constraint; violating it raises during {!run}. *)
+
+val set_response_callback :
+  ('msg, 'tag, 'inv, 'resp) t ->
+  (proc:int -> inv:'inv -> resp:'resp -> time:Rat.t -> unit) ->
+  unit
+(** Called each time an operation completes; may call
+    {!schedule_invoke} with [at >= time], enabling closed-loop
+    workloads. *)
+
+exception Step_limit_exceeded of int
+
+val run : ?max_events:int -> ('msg, 'tag, 'inv, 'resp) t -> unit
+(** Process events until the queue drains (the run is then {e complete}
+    in the paper's sense: all messages delivered, all timers resolved).
+    @raise Step_limit_exceeded if more than [max_events] (default
+    1_000_000) events are dispatched, which indicates a bug such as a
+    timer loop. *)
+
+val trace : ('msg, 'tag, 'inv, 'resp) t -> ('msg, 'inv, 'resp) Trace.t

@@ -1,0 +1,73 @@
+type 'a entry = { time : Rat.t; klass : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  dummy : 'a option;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+
+let entry_lt a b =
+  let c = Rat.compare a.time b.time in
+  if c <> 0 then c < 0
+  else if a.klass <> b.klass then a.klass < b.klass
+  else a.seq < b.seq
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let fresh = Array.make (Stdlib.max 16 (2 * capacity)) entry in
+    Array.blit q.heap 0 fresh 0 q.size;
+    q.heap <- fresh
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < q.size && entry_lt q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.size && entry_lt q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ?(priority = 1) ~time payload =
+  let entry = { time; klass = priority; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let is_empty q = q.size = 0
+let length q = q.size

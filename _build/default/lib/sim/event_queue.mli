@@ -1,0 +1,26 @@
+(** Binary min-heap priority queue for simulation events.
+
+    Events are ordered by [(time, sequence)] where the sequence number is
+    assigned on insertion; ties in time therefore pop in FIFO order, which
+    makes simulation runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> ?priority:int -> time:Rat.t -> 'a -> unit
+(** Insert an event.  Events are ordered by [(time, priority, seq)]:
+    lower [priority] values pop first among equal times (default [1]).
+    The engine uses priority [0] for message deliveries so that a
+    message whose delay makes it arrive exactly when a timer fires is
+    visible to the timer's handler — delays are drawn from the closed
+    interval [[d - u, d]], so boundary arrivals are legitimate. *)
+
+val pop : 'a t -> (Rat.t * 'a) option
+(** Remove and return the earliest event, FIFO among equal times. *)
+
+val peek_time : 'a t -> Rat.t option
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int

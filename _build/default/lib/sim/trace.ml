@@ -1,0 +1,107 @@
+type ('msg, 'inv, 'resp) event =
+  | Invoke of { time : Rat.t; proc : int; inv : 'inv }
+  | Respond of { time : Rat.t; proc : int; inv : 'inv; resp : 'resp }
+  | Send of {
+      time : Rat.t;
+      src : int;
+      dst : int;
+      delay : Rat.t;
+      msg : 'msg;
+    }
+  | Deliver of { time : Rat.t; src : int; dst : int; msg : 'msg }
+  | Timer_set of { time : Rat.t; proc : int; id : int; expiry : Rat.t }
+  | Timer_fire of { time : Rat.t; proc : int; id : int }
+  | Timer_cancel of { time : Rat.t; proc : int; id : int }
+
+type ('msg, 'inv, 'resp) t = {
+  mutable rev_events : ('msg, 'inv, 'resp) event list;
+  mutable count : int;
+}
+
+type ('inv, 'resp) operation = {
+  proc : int;
+  inv : 'inv;
+  resp : 'resp;
+  inv_time : Rat.t;
+  resp_time : Rat.t;
+}
+
+let create () = { rev_events = []; count = 0 }
+
+let of_events events =
+  { rev_events = List.rev events; count = List.length events }
+
+let record t event =
+  t.rev_events <- event :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+
+let event_time = function
+  | Invoke { time; _ }
+  | Respond { time; _ }
+  | Send { time; _ }
+  | Deliver { time; _ }
+  | Timer_set { time; _ }
+  | Timer_fire { time; _ }
+  | Timer_cancel { time; _ } -> time
+
+let last_time t =
+  match t.rev_events with [] -> Rat.zero | event :: _ -> event_time event
+
+(* Pair each response with the pending invocation at the same process.
+   The at-most-one-pending-operation constraint (§2.2) makes the pairing
+   unambiguous. *)
+let fold_operations t =
+  let pending : (int, Rat.t * 'inv) Hashtbl.t = Hashtbl.create 16 in
+  let finished = ref [] in
+  let step = function
+    | Invoke { time; proc; inv } ->
+        if Hashtbl.mem pending proc then
+          invalid_arg "Trace.operations: overlapping invocations at a process";
+        Hashtbl.replace pending proc (time, inv)
+    | Respond { time; proc; resp; _ } -> (
+        match Hashtbl.find_opt pending proc with
+        | None -> invalid_arg "Trace.operations: response without invocation"
+        | Some (inv_time, inv) ->
+            Hashtbl.remove pending proc;
+            finished :=
+              { proc; inv; resp; inv_time; resp_time = time } :: !finished)
+    | Send _ | Deliver _ | Timer_set _ | Timer_fire _ | Timer_cancel _ -> ()
+  in
+  List.iter step (events t);
+  (List.rev !finished, pending)
+
+let operations t =
+  let finished, _pending = fold_operations t in
+  List.stable_sort (fun a b -> Rat.compare a.inv_time b.inv_time) finished
+
+let pending_invocations t =
+  let _finished, pending = fold_operations t in
+  Hashtbl.fold (fun proc (_, inv) acc -> (proc, inv) :: acc) pending []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let message_delays t =
+  List.filter_map
+    (function
+      | Send { src; dst; delay; _ } -> Some (src, dst, delay)
+      | Invoke _ | Respond _ | Deliver _ | Timer_set _ | Timer_fire _
+      | Timer_cancel _ -> None)
+    (events t)
+
+let delays_admissible model t =
+  List.for_all
+    (fun (_, _, delay) -> Model.delay_valid model delay)
+    (message_delays t)
+
+let operation_count t =
+  let finished, _ = fold_operations t in
+  List.length finished
+
+let pp_summary ppf t =
+  let sends =
+    List.length
+      (List.filter (function Send _ -> true | _ -> false) (events t))
+  in
+  Format.fprintf ppf "trace: %d events, %d operations, %d messages, last=%a"
+    t.count (operation_count t) sends Rat.pp (last_time t)

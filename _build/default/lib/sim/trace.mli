@@ -1,0 +1,70 @@
+(** Run traces: the complete record of what happened during a simulation.
+
+    A trace is the executable analogue of the paper's notion of a run (a
+    set of timed views, §2.2): every invocation, response, message send
+    and receive, and timer event, stamped with the real time at which it
+    occurred.  The lower-bound machinery in [lib/bounds] consumes traces
+    to check admissibility and to shift runs. *)
+
+type ('msg, 'inv, 'resp) event =
+  | Invoke of { time : Rat.t; proc : int; inv : 'inv }
+  | Respond of { time : Rat.t; proc : int; inv : 'inv; resp : 'resp }
+  | Send of {
+      time : Rat.t;
+      src : int;
+      dst : int;
+      delay : Rat.t;
+      msg : 'msg;
+    }
+  | Deliver of { time : Rat.t; src : int; dst : int; msg : 'msg }
+  | Timer_set of { time : Rat.t; proc : int; id : int; expiry : Rat.t }
+  | Timer_fire of { time : Rat.t; proc : int; id : int }
+  | Timer_cancel of { time : Rat.t; proc : int; id : int }
+
+type ('msg, 'inv, 'resp) t
+
+(** A completed operation extracted from a trace: the pairing of an
+    invocation with its matching response (paper §2.3). *)
+type ('inv, 'resp) operation = {
+  proc : int;
+  inv : 'inv;
+  resp : 'resp;
+  inv_time : Rat.t;
+  resp_time : Rat.t;
+}
+
+val create : unit -> ('msg, 'inv, 'resp) t
+
+val of_events : ('msg, 'inv, 'resp) event list -> ('msg, 'inv, 'resp) t
+(** Build a trace from a pre-computed event list (used by the shifting
+    machinery, which re-times events of an existing trace).  The list
+    is taken to already be in chronological order. *)
+
+val record : ('msg, 'inv, 'resp) t -> ('msg, 'inv, 'resp) event -> unit
+
+val events : ('msg, 'inv, 'resp) t -> ('msg, 'inv, 'resp) event list
+(** In chronological (recording) order. *)
+
+val operations : ('msg, 'inv, 'resp) t -> ('inv, 'resp) operation list
+(** Matched invocation/response pairs, ordered by invocation time.
+    @raise Invalid_argument if a response has no pending invocation. *)
+
+val pending_invocations : ('msg, 'inv, 'resp) t -> (int * 'inv) list
+(** Invocations that never received a response (non-empty only for
+    truncated runs). *)
+
+val message_delays : ('msg, 'inv, 'resp) t -> (int * int * Rat.t) list
+(** [(src, dst, delay)] for every message sent. *)
+
+val delays_admissible : Model.t -> ('msg, 'inv, 'resp) t -> bool
+(** Were all message delays within [[d - u, d]]? *)
+
+val event_time : ('msg, 'inv, 'resp) event -> Rat.t
+
+val last_time : ('msg, 'inv, 'resp) t -> Rat.t
+(** Real time of the last recorded event; [Rat.zero] for an empty
+    trace.  Mirrors the paper's [last-time] of a finite run. *)
+
+val operation_count : ('msg, 'inv, 'resp) t -> int
+
+val pp_summary : Format.formatter -> ('msg, 'inv, 'resp) t -> unit

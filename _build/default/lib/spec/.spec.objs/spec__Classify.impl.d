@@ -1,0 +1,1 @@
+lib/spec/classify.pp.ml: Data_type Format Fun List Op_kind Option Random

@@ -1,0 +1,1 @@
+lib/spec/classify.pp.mli: Data_type Format Op_kind

@@ -1,0 +1,1 @@
+lib/spec/counter_type.pp.ml: Op_kind Ppx_deriving_runtime Random

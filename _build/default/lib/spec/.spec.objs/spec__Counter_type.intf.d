@@ -1,0 +1,1 @@
+lib/spec/counter_type.pp.mli: Data_type

@@ -1,0 +1,1 @@
+lib/spec/data_type.pp.ml: Format List Op_kind Option Printf Random

@@ -1,0 +1,1 @@
+lib/spec/data_type.pp.mli: Format Op_kind Random

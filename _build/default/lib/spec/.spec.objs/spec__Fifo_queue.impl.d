@@ -1,0 +1,1 @@
+lib/spec/fifo_queue.pp.ml: List Op_kind Ppx_deriving_runtime Random

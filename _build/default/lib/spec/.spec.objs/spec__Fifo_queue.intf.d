@@ -1,0 +1,1 @@
+lib/spec/fifo_queue.pp.mli: Data_type

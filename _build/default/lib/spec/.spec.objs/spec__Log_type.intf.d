@@ -1,0 +1,1 @@
+lib/spec/log_type.pp.mli: Data_type

@@ -1,0 +1,1 @@
+lib/spec/op_kind.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/spec/op_kind.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/spec/priority_queue.pp.ml: List Op_kind Ppx_deriving_runtime Random

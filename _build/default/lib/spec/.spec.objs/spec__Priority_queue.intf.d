@@ -1,0 +1,1 @@
+lib/spec/priority_queue.pp.mli: Data_type

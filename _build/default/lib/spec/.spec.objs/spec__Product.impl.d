@@ -1,0 +1,1 @@
+lib/spec/product.pp.ml: Data_type Format List Printf Random String

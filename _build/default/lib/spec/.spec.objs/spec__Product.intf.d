@@ -1,0 +1,1 @@
+lib/spec/product.pp.mli: Data_type

@@ -1,0 +1,1 @@
+lib/spec/register.pp.ml: Op_kind Ppx_deriving_runtime Random

@@ -1,0 +1,1 @@
+lib/spec/register.pp.mli: Data_type

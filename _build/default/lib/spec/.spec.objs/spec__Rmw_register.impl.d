@@ -1,0 +1,1 @@
+lib/spec/rmw_register.pp.ml: Op_kind Ppx_deriving_runtime Random

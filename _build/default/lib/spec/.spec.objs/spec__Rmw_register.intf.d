@@ -1,0 +1,1 @@
+lib/spec/rmw_register.pp.mli: Data_type

@@ -1,0 +1,1 @@
+lib/spec/set_type.pp.ml: List Op_kind Ppx_deriving_runtime Random

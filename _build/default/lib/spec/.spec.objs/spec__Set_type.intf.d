@@ -1,0 +1,1 @@
+lib/spec/set_type.pp.mli: Data_type

@@ -1,0 +1,1 @@
+lib/spec/stack_type.pp.ml: List Op_kind Ppx_deriving_runtime Random

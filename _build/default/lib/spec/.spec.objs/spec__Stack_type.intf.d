@@ -1,0 +1,1 @@
+lib/spec/stack_type.pp.mli: Data_type

@@ -1,0 +1,1 @@
+lib/spec/tree_type.pp.mli: Data_type

@@ -1,0 +1,13 @@
+(** Shared counter: [add k] (commuting pure mutator — not
+    last-sensitive), [read] (pure accessor), [fetch_and_increment]
+    (pair-free mixed operation). *)
+
+type state = int
+type invocation = Add of int | Read | Fetch_and_increment
+type response = Ack | Value of int
+
+include
+  Data_type.S
+    with type state := state
+     and type invocation := invocation
+     and type response := response

@@ -1,0 +1,98 @@
+(** Sequential specifications of arbitrary data types (paper §2.1).
+
+    The paper specifies a type [T] by its set of legal sequences
+    [L(T)], required to be prefix-closed, complete and deterministic.
+    We represent such a specification by a deterministic state machine:
+    [apply state invocation] returns the successor state and the unique
+    response.  This guarantees all three constraints by construction —
+    prefix closure (legality is replay), completeness ([apply] is
+    total), determinism ([apply] is a function).
+
+    Specifications must use {e canonical} states: two states are
+    [equal_state] iff no operation sequence distinguishes them.  The
+    classification checkers and the linearizability checker rely on
+    this to decide the paper's sequence-equivalence relation by
+    comparing reached states. *)
+
+module type S = sig
+  type state
+  type invocation
+  type response
+
+  val name : string
+  val initial : state
+
+  val apply : state -> invocation -> state * response
+  (** Total and deterministic. *)
+
+  val op_of : invocation -> string
+  (** Which operation (read, write, enqueue, ...) this invocation is an
+      instance of. *)
+
+  val operations : (string * Op_kind.t) list
+  (** All operations with their declared classification; drives
+      Algorithm 1's AOP/MOP/OOP dispatch and is validated against the
+      discovered classification in the tests. *)
+
+  val equal_state : state -> state -> bool
+  val equal_invocation : invocation -> invocation -> bool
+  val equal_response : response -> response -> bool
+  val show_state : state -> string
+  val pp_state : Format.formatter -> state -> unit
+  val pp_invocation : Format.formatter -> invocation -> unit
+  val pp_response : Format.formatter -> response -> unit
+
+  val sample_invocations : string -> invocation list
+  (** Representative invocations per operation — witness candidates for
+      the classification search.  Must be non-empty for every declared
+      operation and include enough distinct arguments to exhibit the
+      type's algebraic properties. *)
+
+  val gen_invocation : Random.State.t -> invocation
+  (** Random invocation, for workloads and property tests. *)
+end
+
+(** An operation instance [OP(arg, ret)]: invocation plus response
+    (paper §2.1). *)
+type ('inv, 'resp) instance = { inv : 'inv; resp : 'resp }
+
+(** Derived sequence semantics. *)
+module Semantics (T : S) : sig
+  type nonrec instance = (T.invocation, T.response) instance
+
+  val pp_instance : Format.formatter -> instance -> unit
+  val show_instance : instance -> string
+  val equal_instance : instance -> instance -> bool
+
+  val replay : T.state -> instance list -> T.state option
+  (** [None] when some recorded response disagrees with the
+      specification — the sequence is illegal from that state. *)
+
+  val state_after : instance list -> T.state option
+  (** {!replay} from the initial state. *)
+
+  val legal : instance list -> bool
+  (** Membership in the paper's [L(T)]. *)
+
+  val perform : T.state -> T.invocation -> instance * T.state
+  (** The unique legal instance of an invocation from a state. *)
+
+  val perform_seq : T.invocation list -> instance list * T.state
+  (** Execute a whole invocation sequence from the initial state — how
+      a context sequence rho is materialized. *)
+
+  val instances_of : T.invocation list -> instance list
+
+  val response_after : instance list -> T.invocation -> T.response option
+  (** The response an invocation would get after the given sequence;
+      [None] when the prefix itself is illegal. *)
+
+  val equivalent : instance list -> instance list -> bool
+  (** The paper's [rho1 == rho2] (identical legal continuations),
+      decided via canonical states; two illegal sequences are
+      equivalent. *)
+
+  val kind_of : T.invocation -> Op_kind.t
+  (** Declared kind of the invocation's operation.
+      @raise Invalid_argument on an undeclared operation. *)
+end

@@ -1,0 +1,59 @@
+(** FIFO queue of integers (paper Table 2).
+
+    [enqueue v] appends (pure mutator, last-sensitive: a long enough
+    string of dequeues reveals which enqueue came last); [dequeue]
+    removes and returns the head, [None] on empty (mixed, pair-free);
+    [peek] returns the head without removing it (pure accessor).
+    [enqueue]/[peek] form the paper's example pair for Theorem 5's
+    discriminator hypotheses. *)
+
+type state = int list (* head first *) [@@deriving show { with_path = false }, eq]
+
+type invocation = Enqueue of int | Dequeue | Peek
+[@@deriving show { with_path = false }, eq]
+
+type response = Ack | Got of int option
+[@@deriving show { with_path = false }, eq]
+
+let name = "fifo-queue"
+let initial = []
+
+let apply state = function
+  | Enqueue v -> (state @ [ v ], Ack)
+  | Dequeue -> (
+      match state with
+      | [] -> ([], Got None)
+      | head :: tail -> (tail, Got (Some head)))
+  | Peek -> (
+      match state with
+      | [] -> (state, Got None)
+      | head :: _ -> (state, Got (Some head)))
+
+let op_of = function
+  | Enqueue _ -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Peek -> "peek"
+
+let operations =
+  [
+    ("enqueue", Op_kind.Pure_mutator);
+    ("dequeue", Op_kind.Mixed);
+    ("peek", Op_kind.Pure_accessor);
+  ]
+
+let equal_state = equal_state
+let equal_invocation = equal_invocation
+let equal_response = equal_response
+let show_state = show_state
+
+let sample_invocations = function
+  | "enqueue" -> [ Enqueue 1; Enqueue 2; Enqueue 3; Enqueue 4 ]
+  | "dequeue" -> [ Dequeue ]
+  | "peek" -> [ Peek ]
+  | op -> invalid_arg ("fifo-queue: unknown operation " ^ op)
+
+let gen_invocation rng =
+  match Random.State.int rng 4 with
+  | 0 | 1 -> Enqueue (Random.State.int rng 10)
+  | 2 -> Dequeue
+  | _ -> Peek

@@ -1,0 +1,17 @@
+(** FIFO queue of integers (paper Table 2).
+
+    [enqueue] is a last-sensitive pure mutator, [dequeue] a pair-free
+    mixed operation ([None] on empty), [peek] a pure accessor.
+    [enqueue]/[peek] are the paper's example pair for Theorem 5's
+    discriminator hypotheses. *)
+
+type state = int list  (** head first *)
+
+type invocation = Enqueue of int | Dequeue | Peek
+type response = Ack | Got of int option
+
+include
+  Data_type.S
+    with type state := state
+     and type invocation := invocation
+     and type response := response

@@ -1,0 +1,19 @@
+(** Append-only log (journal).
+
+    [append] is the canonical last-sensitive pure mutator (as many
+    distinct instances as values, order fully observable); [last] and
+    [length] are pure accessors; [trim] (remove and return the oldest
+    entry) is a pair-free mixed operation.  Theorem 5 applies to
+    append+length but NOT to append+last (which behaves like the
+    paper's push+peek exception) — see the classification tests. *)
+
+type state = int list  (** newest first *)
+
+type invocation = Append of int | Last | Length | Trim
+type response = Ack | Entry of int option | Count of int
+
+include
+  Data_type.S
+    with type state := state
+     and type invocation := invocation
+     and type response := response

@@ -1,0 +1,16 @@
+(** Max-priority queue (multiset semantics).
+
+    [insert] is a commuting pure mutator (not last-sensitive, a
+    negative control), [extract_max] a pair-free mixed operation,
+    [find_max] a pure accessor. *)
+
+type state = int list  (** multiset, kept descending *)
+
+type invocation = Insert of int | Extract_max | Find_max
+type response = Ack | Max of int option
+
+include
+  Data_type.S
+    with type state := state
+     and type invocation := invocation
+     and type response := response

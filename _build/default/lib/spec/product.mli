@@ -1,0 +1,21 @@
+(** Product of two data types: one shared object holding both,
+    invocations tagged with the side they act on.
+
+    Linearizability is {e local} (paper §2.3): the tests use this
+    functor to run multi-object workloads through the single-object
+    machinery and check that per-side projections are independently
+    linearizable.  Operations keep their original classification —
+    except that {e overwriter} status is (correctly) lost: a left-side
+    write cannot overwrite the right half of the state. *)
+
+module Make (A : Data_type.S) (B : Data_type.S) : sig
+  type invocation = Left of A.invocation | Right of B.invocation
+  type response = Left_r of A.response | Right_r of B.response
+
+  include
+    Data_type.S
+      with type state = A.state * B.state
+       and type invocation := invocation
+       and type response := response
+  (** Operation names are prefixed ["l:"] / ["r:"]. *)
+end

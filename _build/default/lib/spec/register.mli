@@ -1,0 +1,15 @@
+(** Read/write register over integers (paper §2.1's running example).
+
+    [read] returns the value written by the latest preceding [write]
+    (initially [0]).  [write] is the textbook pure mutator — in fact an
+    overwriter — and [read] the textbook pure accessor. *)
+
+type state = int
+type invocation = Read | Write of int
+type response = Value of int | Ack
+
+include
+  Data_type.S
+    with type state := state
+     and type invocation := invocation
+     and type response := response

@@ -1,0 +1,70 @@
+(** Integer set, implementing the paper's §6.2 future-work discussion.
+
+    [add]/[remove] are pure mutators that {e commute} — in contrast with
+    queue/stack/tree mutators they are not last-sensitive, which the
+    classification tests use as a negative control.  [contains] is a
+    pure accessor.  [extract_min] removes and returns the minimum
+    element: it is the deterministic stand-in for the paper's "extract
+    an arbitrary element" (our framework requires determinism — §2.1 —
+    and the paper's proofs rely on it). *)
+
+type state = int list (* strictly increasing *)
+[@@deriving show { with_path = false }, eq]
+
+type invocation = Add of int | Remove of int | Contains of int | Extract_min
+[@@deriving show { with_path = false }, eq]
+
+type response = Ack | Mem of bool | Min of int option
+[@@deriving show { with_path = false }, eq]
+
+let name = "int-set"
+let initial = []
+
+let rec insert_sorted v = function
+  | [] -> [ v ]
+  | x :: rest ->
+      if v < x then v :: x :: rest
+      else if v = x then x :: rest
+      else x :: insert_sorted v rest
+
+let apply state = function
+  | Add v -> (insert_sorted v state, Ack)
+  | Remove v -> (List.filter (fun x -> x <> v) state, Ack)
+  | Contains v -> (state, Mem (List.mem v state))
+  | Extract_min -> (
+      match state with
+      | [] -> ([], Min None)
+      | min :: rest -> (rest, Min (Some min)))
+
+let op_of = function
+  | Add _ -> "add"
+  | Remove _ -> "remove"
+  | Contains _ -> "contains"
+  | Extract_min -> "extract-min"
+
+let operations =
+  [
+    ("add", Op_kind.Pure_mutator);
+    ("remove", Op_kind.Pure_mutator);
+    ("contains", Op_kind.Pure_accessor);
+    ("extract-min", Op_kind.Mixed);
+  ]
+
+let equal_state = equal_state
+let equal_invocation = equal_invocation
+let equal_response = equal_response
+let show_state = show_state
+
+let sample_invocations = function
+  | "add" -> [ Add 1; Add 2; Add 3; Add 4 ]
+  | "remove" -> [ Remove 1; Remove 2; Remove 3 ]
+  | "contains" -> [ Contains 1; Contains 2; Contains 3 ]
+  | "extract-min" -> [ Extract_min ]
+  | op -> invalid_arg ("int-set: unknown operation " ^ op)
+
+let gen_invocation rng =
+  match Random.State.int rng 4 with
+  | 0 -> Add (Random.State.int rng 10)
+  | 1 -> Remove (Random.State.int rng 10)
+  | 2 -> Contains (Random.State.int rng 10)
+  | _ -> Extract_min

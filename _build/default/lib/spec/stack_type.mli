@@ -1,0 +1,17 @@
+(** LIFO stack of integers (paper Table 3).
+
+    [push] (last-sensitive pure mutator), [pop] (pair-free mixed),
+    [peek] (pure accessor).  Unlike the queue, [push]+[peek] does NOT
+    satisfy Theorem 5's hypotheses: in a push/peek-only run a peek
+    depends only on the last push. *)
+
+type state = int list  (** top first *)
+
+type invocation = Push of int | Pop | Peek
+type response = Ack | Got of int option
+
+include
+  Data_type.S
+    with type state := state
+     and type invocation := invocation
+     and type response := response

@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Bounds Fun List Printf QCheck QCheck_alcotest Rat Sim

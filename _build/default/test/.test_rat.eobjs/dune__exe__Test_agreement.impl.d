@@ -1,0 +1,1 @@
+test/test_agreement.ml: Alcotest Array Core Format List QCheck QCheck_alcotest Rat Sim Spec

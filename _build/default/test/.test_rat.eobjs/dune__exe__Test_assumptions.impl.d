@@ -1,0 +1,1 @@
+test/test_assumptions.ml: Alcotest Array Core List Printf Rat Sim Spec

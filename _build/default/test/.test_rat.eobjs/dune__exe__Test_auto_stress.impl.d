@@ -1,0 +1,1 @@
+test/test_auto_stress.ml: Alcotest Bounds List Printf Rat Sim Spec

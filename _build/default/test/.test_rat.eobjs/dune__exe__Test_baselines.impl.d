@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Core List Option Printf Rat Sim Spec

@@ -1,0 +1,1 @@
+test/test_chop.ml: Alcotest Array Bounds Core List QCheck QCheck_alcotest Rat Sim Spec

@@ -1,0 +1,1 @@
+test/test_clock_sync.ml: Alcotest Array Core List Printf QCheck QCheck_alcotest Random Rat Sim Spec

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Fun List Option QCheck QCheck_alcotest Rat Sim

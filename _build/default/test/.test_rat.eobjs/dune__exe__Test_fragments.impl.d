@@ -1,0 +1,1 @@
+test/test_fragments.ml: Alcotest Bounds Core List Rat Sim Spec

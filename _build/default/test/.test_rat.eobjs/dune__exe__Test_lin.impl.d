@@ -1,0 +1,1 @@
+test/test_lin.ml: Alcotest Fun Lin List QCheck QCheck_alcotest Random Rat Sim Spec

@@ -1,0 +1,1 @@
+test/test_model_net.ml: Alcotest Array Fun List QCheck QCheck_alcotest Rat Sim

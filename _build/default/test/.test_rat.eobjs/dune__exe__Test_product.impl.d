@@ -1,0 +1,1 @@
+test/test_product.ml: Alcotest Core Lin List Printf Random Rat Sim Spec

@@ -1,0 +1,1 @@
+test/test_runtime_diagram.ml: Alcotest Bounds Core Format Fun List Rat Sim Spec String

@@ -1,0 +1,1 @@
+test/test_shifting.ml: Alcotest Array Bounds Core Lin List Printf QCheck QCheck_alcotest Rat Sim Spec

@@ -1,0 +1,1 @@
+test/test_spec_types.ml: Alcotest List QCheck QCheck_alcotest Random Spec

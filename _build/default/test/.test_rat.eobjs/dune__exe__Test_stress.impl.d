@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Bounds List Printf QCheck QCheck_alcotest Rat Sim Spec

@@ -1,0 +1,1 @@
+test/test_theorems_tables.ml: Alcotest Bounds Format List Option Printf QCheck QCheck_alcotest Rat Sim String

@@ -1,0 +1,1 @@
+test/test_workload_metrics.ml: Alcotest Core Fun List Option Rat Sim Spec

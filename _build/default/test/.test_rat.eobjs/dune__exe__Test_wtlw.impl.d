@@ -1,0 +1,1 @@
+test/test_wtlw.ml: Alcotest Array Core Lin List Option Printf QCheck QCheck_alcotest Rat Sim Spec

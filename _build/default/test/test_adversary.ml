@@ -1,0 +1,166 @@
+(* Machine-checks of the quantitative claims in the proofs of
+   Theorems 2-5, across a spread of model parameters. *)
+
+let rat = Rat.make
+
+(* Models exercising each branch of m = min{eps, u, d/3} and both
+   optimal and non-optimal clock synchronization. *)
+let models =
+  [
+    ("eps smallest", Sim.Model.make ~n:4 ~d:(rat 12 1) ~u:(rat 4 1) ~eps:(rat 3 1));
+    ("u smallest", Sim.Model.make ~n:4 ~d:(rat 30 1) ~u:(rat 2 1) ~eps:(rat 3 1));
+    ("d/3 smallest", Sim.Model.make ~n:4 ~d:(rat 6 1) ~u:(rat 6 1) ~eps:(rat 5 1));
+    ("optimal eps", Sim.Model.make_optimal_eps ~n:5 ~d:(rat 20 1) ~u:(rat 8 1));
+    ("tiny u", Sim.Model.make_optimal_eps ~n:3 ~d:(rat 9 1) ~u:(rat 1 3));
+  ]
+
+let assert_claims label claims =
+  List.iter
+    (fun (c : Bounds.Adversary.claim) ->
+      Alcotest.(check bool) (label ^ ": " ^ c.label) true c.holds)
+    claims
+
+let test_thm2_claims () =
+  List.iter
+    (fun (label, model) ->
+      assert_claims (label ^ " thm2") (Bounds.Adversary.Thm2.claims model))
+    models
+
+let test_thm3_claims () =
+  List.iter
+    (fun (label, model) ->
+      List.iter
+        (fun k ->
+          if k <= model.Sim.Model.n then
+            assert_claims
+              (Printf.sprintf "%s thm3 k=%d" label k)
+              (Bounds.Adversary.Thm3.claims model ~k))
+        [ 2; 3; 4; 5 ])
+    models
+
+let test_thm4_claims () =
+  List.iter
+    (fun (label, model) ->
+      assert_claims (label ^ " thm4") (Bounds.Adversary.Thm4.claims model))
+    models
+
+let test_thm5_claims () =
+  List.iter
+    (fun (label, model) ->
+      assert_claims (label ^ " thm5") (Bounds.Adversary.Thm5.claims model))
+    models
+
+(* Structural checks on the figure matrices. *)
+let test_thm4_matrices () =
+  let model = List.assoc "eps smallest" models in
+  let matrices = Bounds.Adversary.Thm4.matrices model in
+  Alcotest.(check int) "five matrices (figures 2,4,5,6,7)" 5
+    (List.length matrices);
+  (* Figures 2, 5 and 7 are valid; 4 has exactly one invalid entry. *)
+  let get name = List.assoc name (List.map (fun (n, m) -> (n, m)) matrices) in
+  Alcotest.(check bool) "fig2 valid" true
+    (Sim.Net.matrix_valid model (get "Figure 2: D1 (run R1)"));
+  Alcotest.(check bool) "fig5 valid" true
+    (Sim.Net.matrix_valid model
+       (get "Figure 5: after repairing p1->p0 to d-m (run R3)"));
+  Alcotest.(check bool) "fig7 valid" true
+    (Sim.Net.matrix_valid model
+       (get "Figure 7: after repairing p0->p1 to d (run R4)"));
+  Alcotest.(check (list (pair int int)))
+    "fig4 single invalid"
+    [ (1, 0) ]
+    (Bounds.Shifting.invalid_entries model
+       (get "Figure 4: after shifting p1 earlier by m (run S2')"))
+
+let test_thm5_matrices () =
+  let model = List.assoc "eps smallest" models in
+  let matrices = Bounds.Adversary.Thm5.matrices model in
+  Alcotest.(check int) "three matrices (figures 8,10 + repair)" 3
+    (List.length matrices);
+  List.iter
+    (fun (name, matrix) ->
+      if name = "Figure 8: D (run R1)" then
+        Alcotest.(check bool) "fig8 valid" true
+          (Sim.Net.matrix_valid model matrix))
+    matrices
+
+(* The separation argument of Theorem 3, step 3: for every z, after the
+   shift the gap between p_z's and p_{z+1}'s shift amounts equals
+   (1 - 1/k) u, so an algorithm faster than that bound would order the
+   instances inconsistently with pi. *)
+let test_thm3_separation_all_z () =
+  List.iter
+    (fun (label, model) ->
+      let n = model.Sim.Model.n in
+      List.iter
+        (fun k ->
+          if k <= n then
+            List.iter
+              (fun z ->
+                let gap = Bounds.Adversary.Thm3.separation_gap model ~k ~z in
+                Alcotest.(check string)
+                  (Printf.sprintf "%s k=%d z=%d gap" label k z)
+                  (Rat.to_string (Rat.mul model.u (Rat.make (k - 1) k)))
+                  (Rat.to_string gap))
+              (List.init k Fun.id))
+        [ 2; 3; 4 ])
+    models
+
+(* Degenerate parameter regimes must not crash the constructions. *)
+let test_degenerate_models () =
+  (* u = 0: perfectly predictable delays. *)
+  let u0 = Sim.Model.make ~n:3 ~d:(rat 10 1) ~u:Rat.zero ~eps:Rat.zero in
+  assert_claims "u=0 thm3" (Bounds.Adversary.Thm3.claims u0 ~k:2);
+  assert_claims "u=0 thm4" (Bounds.Adversary.Thm4.claims u0);
+  (* u = d: maximal uncertainty. *)
+  let ud = Sim.Model.make_optimal_eps ~n:3 ~d:(rat 6 1) ~u:(rat 6 1) in
+  assert_claims "u=d thm2" (Bounds.Adversary.Thm2.claims ud);
+  assert_claims "u=d thm4" (Bounds.Adversary.Thm4.claims ud)
+
+let test_all_hold_helper () =
+  let claims =
+    [ Bounds.Adversary.claim "a" true; Bounds.Adversary.claim "b" false ]
+  in
+  Alcotest.(check bool) "all_hold false" false
+    (Bounds.Adversary.all_hold claims);
+  Alcotest.(check int) "failing finds b" 1
+    (List.length (Bounds.Adversary.failing claims));
+  Alcotest.(check bool) "all_hold true" true
+    (Bounds.Adversary.all_hold [ Bounds.Adversary.claim "a" true ])
+
+(* Property: Theorem 3's claims hold for random parameter settings with
+   optimal clock synchronization (the regime where the bound is tight). *)
+let prop_thm3_random_models =
+  QCheck.Test.make ~name:"thm3 claims across random optimal models" ~count:60
+    QCheck.(triple (int_range 2 6) (int_range 2 15) (int_range 1 10))
+    (fun (n, d_raw, u_raw) ->
+      let d = rat (d_raw * 4) 1 in
+      let u = rat (min (d_raw * 4) u_raw) 1 in
+      let model = Sim.Model.make_optimal_eps ~n ~d ~u in
+      List.for_all
+        (fun k ->
+          k > n || Bounds.Adversary.all_hold (Bounds.Adversary.Thm3.claims model ~k))
+        [ 2; 3; 4; 5; 6 ])
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "proof claims",
+        [
+          Alcotest.test_case "theorem 2" `Quick test_thm2_claims;
+          Alcotest.test_case "theorem 3" `Quick test_thm3_claims;
+          Alcotest.test_case "theorem 4" `Quick test_thm4_claims;
+          Alcotest.test_case "theorem 5" `Quick test_thm5_claims;
+        ] );
+      ( "constructions",
+        [
+          Alcotest.test_case "thm4 matrices" `Quick test_thm4_matrices;
+          Alcotest.test_case "thm5 matrices" `Quick test_thm5_matrices;
+          Alcotest.test_case "thm3 separation" `Quick
+            test_thm3_separation_all_z;
+          Alcotest.test_case "degenerate models" `Quick test_degenerate_models;
+          Alcotest.test_case "claim helpers" `Quick test_all_hold_helper;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_thm3_random_models ] );
+    ]

@@ -1,0 +1,140 @@
+(* The paper's standing assumptions on algorithms (§2.3), checked
+   against our implementations:
+
+   - Eventual Quiescence: every complete admissible run with finitely
+     many operations is finite (the engine's event queue drains).
+   - History Oblivion: the final state of every process depends only on
+     the sequence of operation instances executed, not on clock
+     offsets, delays, or message arrival order. *)
+
+let rat = Rat.make
+let model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 10 1) ~u:(rat 4 1)
+
+module Reg = Spec.Register
+module Algo = Core.Wtlw.Make (Reg)
+module Tob = Core.Tob.Make (Reg)
+
+let sequence = Reg.[ Write 3; Read; Write 1; Read; Write 4; Read ]
+
+(* Run the given op sequence at p0 under chosen offsets/delays; return
+   final replica states and the trace size. *)
+let run_wtlw ~offsets ~delay =
+  let cluster = Algo.create ~model ~x:(rat 2 1) ~offsets ~delay () in
+  List.iteri
+    (fun i inv ->
+      Sim.Engine.schedule_invoke cluster.engine ~at:(rat (i * 30) 1) ~proc:0 inv)
+    sequence;
+  Sim.Engine.run cluster.engine;
+  ( List.init model.n (Algo.replica_state cluster),
+    List.length (Sim.Trace.events (Sim.Engine.trace cluster.engine)) )
+
+let environments =
+  [
+    ("zero offsets, max delays", Array.make 4 Rat.zero, Sim.Net.max_delay_model model);
+    ("zero offsets, min delays", Array.make 4 Rat.zero, Sim.Net.min_delay_model model);
+    ( "skewed, random 1",
+      [| Rat.zero; rat 3 2; rat (-3) 2; rat 1 2 |],
+      Sim.Net.random_model ~seed:1 model );
+    ( "skewed other way, random 2",
+      [| rat 3 2; rat (-3) 2; Rat.zero; rat (-1) 2 |],
+      Sim.Net.random_model ~seed:2 model );
+  ]
+
+let test_eventual_quiescence () =
+  (* Engine.run returning at all (without hitting the step limit) is
+     quiescence; check it across environments and that no events keep
+     firing after the last response. *)
+  List.iter
+    (fun (label, offsets, delay) ->
+      let _, events = run_wtlw ~offsets ~delay in
+      Alcotest.(check bool) (label ^ ": run finite") true (events > 0))
+    environments
+
+let test_history_oblivion_wtlw () =
+  (* Same operation sequence at p0, four very different environments:
+     every process must end in the same final state. *)
+  let outcomes =
+    List.map (fun (_, offsets, delay) -> fst (run_wtlw ~offsets ~delay))
+      environments
+  in
+  let reference = List.hd outcomes in
+  List.iteri
+    (fun i states ->
+      List.iteri
+        (fun proc state ->
+          Alcotest.(check bool)
+            (Printf.sprintf "env %d, p%d matches reference" i proc)
+            true
+            (Reg.equal_state state (List.nth reference proc)))
+        states)
+    outcomes;
+  (* And the final state is determined by the sequence: last write 4. *)
+  List.iter
+    (fun state -> Alcotest.(check bool) "final value 4" true (state = 4))
+    reference
+
+let test_history_oblivion_tob () =
+  let run ~offsets ~delay =
+    let cluster = Tob.create ~model ~offsets ~delay () in
+    List.iteri
+      (fun i inv ->
+        Sim.Engine.schedule_invoke cluster.engine ~at:(rat (i * 40) 1) ~proc:0
+          inv)
+      sequence;
+    Sim.Engine.run cluster.engine;
+    List.init model.n (Tob.replica_state cluster)
+  in
+  let a =
+    run ~offsets:(Array.make 4 Rat.zero) ~delay:(Sim.Net.max_delay_model model)
+  in
+  let b =
+    run
+      ~offsets:[| Rat.zero; rat 3 2; rat (-3) 2; rat 1 2 |]
+      ~delay:(Sim.Net.random_model ~seed:9 model)
+  in
+  Alcotest.(check bool) "tob history-oblivious" true
+    (List.for_all2 Reg.equal_state a b)
+
+(* Quiescence bound: after the last response, the remaining events are
+   only the already-scheduled timer expirations and message deliveries;
+   nothing new is generated.  We check the last event time is within
+   d + u + eps of the last response. *)
+let test_quiescence_bound () =
+  let offsets = [| Rat.zero; rat 3 2; rat (-3) 2; rat 1 2 |] in
+  let cluster =
+    Algo.create ~model ~x:(rat 2 1) ~offsets
+      ~delay:(Sim.Net.random_model ~seed:5 model)
+      ()
+  in
+  List.iteri
+    (fun i inv ->
+      Sim.Engine.schedule_invoke cluster.engine ~at:(rat (i * 30) 1) ~proc:0 inv)
+    sequence;
+  Sim.Engine.run cluster.engine;
+  let trace = Sim.Engine.trace cluster.engine in
+  let last_response =
+    List.fold_left
+      (fun acc event ->
+        match event with
+        | Sim.Trace.Respond { time; _ } -> Rat.max acc time
+        | _ -> acc)
+      Rat.zero (Sim.Trace.events trace)
+  in
+  let slack = Rat.add model.d (Rat.add model.u model.eps) in
+  Alcotest.(check bool) "trace ends soon after last response" true
+    (Rat.le (Sim.Trace.last_time trace) (Rat.add last_response slack))
+
+let () =
+  Alcotest.run "assumptions"
+    [
+      ( "paper assumptions",
+        [
+          Alcotest.test_case "eventual quiescence" `Quick
+            test_eventual_quiescence;
+          Alcotest.test_case "history oblivion (wtlw)" `Quick
+            test_history_oblivion_wtlw;
+          Alcotest.test_case "history oblivion (tob)" `Quick
+            test_history_oblivion_tob;
+          Alcotest.test_case "quiescence bound" `Quick test_quiescence_bound;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the clock synchronization substrate: one round of
+   reading-exchange achieves the Lundelius-Lynch bound (1 - 1/n)u, and
+   its output can bootstrap Algorithm 1 at the optimal eps. *)
+
+let rat = Rat.make
+
+(* A model whose eps is generous enough to admit unsynchronized
+   clocks; the sync round then brings them within (1 - 1/n)u. *)
+let loose_model ~n = Sim.Model.make ~n ~d:(rat 12 1) ~u:(rat 4 1) ~eps:(rat 100 1)
+
+let random_offsets ~n ~seed ~spread =
+  let rng = Random.State.make [| seed |] in
+  Array.init n (fun _ -> rat (Random.State.int rng spread - (spread / 2)) 1)
+
+let test_estimates_exact_with_midpoint_delays () =
+  (* With every delay exactly d - u/2, the estimates are exact and the
+     adjusted clocks agree perfectly. *)
+  let model = loose_model ~n:4 in
+  let offsets = [| rat 10 1; rat (-20) 1; rat 7 1; Rat.zero |] in
+  let result =
+    Sim.Clock_sync.run ~model ~offsets
+      ~delay:(Sim.Net.constant (rat 10 1))
+      ()
+  in
+  Alcotest.(check string) "perfect agreement" "0"
+    (Rat.to_string result.achieved_skew)
+
+let test_bound_across_seeds () =
+  List.iter
+    (fun n ->
+      let model = loose_model ~n in
+      List.iter
+        (fun seed ->
+          let offsets = random_offsets ~n ~seed ~spread:60 in
+          let result =
+            Sim.Clock_sync.run ~model ~offsets
+              ~delay:(Sim.Net.random_model ~seed model)
+              ()
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d seed=%d: skew within (1-1/n)u" n seed)
+            true
+            (Rat.le result.achieved_skew result.guaranteed_skew);
+          Alcotest.(check string)
+            (Printf.sprintf "n=%d: guarantee is (1-1/n)u" n)
+            (Rat.to_string (Rat.mul (rat 4 1) (rat (n - 1) n)))
+            (Rat.to_string result.guaranteed_skew))
+        [ 1; 2; 3; 4; 5 ])
+    [ 2; 3; 4; 5; 8 ]
+
+let test_adversarial_delays () =
+  (* Extreme delays (all d, or all d-u) still respect the bound: the
+     estimate errors are then all u/2 in the same direction and mostly
+     cancel in the pairwise comparison. *)
+  let model = loose_model ~n:4 in
+  let offsets = [| rat 30 1; rat (-12) 1; rat 5 1; rat (-3) 1 |] in
+  List.iter
+    (fun delay ->
+      let result = Sim.Clock_sync.run ~model ~offsets ~delay () in
+      Alcotest.(check bool) "bound holds" true
+        (Rat.le result.achieved_skew result.guaranteed_skew))
+    [ Sim.Net.max_delay_model model; Sim.Net.min_delay_model model ];
+  (* Asymmetric worst case: fast one way, slow the other. *)
+  let m = Sim.Net.uniform_matrix ~n:4 (rat 12 1) in
+  m.(0).(1) <- rat 8 1;
+  m.(1).(0) <- rat 12 1;
+  m.(2).(3) <- rat 8 1;
+  let result = Sim.Clock_sync.run ~model ~offsets ~delay:(Sim.Net.matrix m) () in
+  Alcotest.(check bool) "asymmetric bound holds" true
+    (Rat.le result.achieved_skew result.guaranteed_skew)
+
+let test_centering_preserves_skew () =
+  let model = loose_model ~n:4 in
+  let offsets = random_offsets ~n:4 ~seed:9 ~spread:40 in
+  let result =
+    Sim.Clock_sync.run ~model ~offsets
+      ~delay:(Sim.Net.random_model ~seed:9 model)
+      ()
+  in
+  let centered = Sim.Clock_sync.centered result in
+  let skew arr =
+    Rat.to_string
+      (Rat.max_list
+         (Array.to_list
+            (Array.map
+               (fun a ->
+                 Rat.max_list
+                   (Array.to_list (Array.map (fun b -> Rat.abs (Rat.sub a b)) arr)))
+               arr)))
+  in
+  Alcotest.(check string) "centering preserves pairwise skew"
+    (Rat.to_string result.achieved_skew)
+    (skew centered)
+
+(* The full bootstrap: synchronize, then run Algorithm 1 at the
+   optimal eps with the centered post-sync offsets. *)
+let test_bootstrap_algorithm1 () =
+  let n = 4 in
+  let model = loose_model ~n in
+  let offsets = random_offsets ~n ~seed:13 ~spread:50 in
+  let sync =
+    Sim.Clock_sync.run ~model ~offsets
+      ~delay:(Sim.Net.random_model ~seed:13 model)
+      ()
+  in
+  let tight = Sim.Model.make_optimal_eps ~n ~d:(rat 12 1) ~u:(rat 4 1) in
+  Alcotest.(check bool) "post-sync offsets admissible at optimal eps" true
+    (Sim.Model.skew_valid tight (Sim.Clock_sync.centered sync));
+  let module R = Core.Runtime.Make (Spec.Fifo_queue) in
+  let report =
+    R.run ~model:tight
+      ~offsets:(Sim.Clock_sync.centered sync)
+      ~delay:(Sim.Net.random_model ~seed:14 tight)
+      ~algorithm:(R.Wtlw { x = rat 2 1 })
+      ~workload:(R.Closed_loop { per_proc = 8; think = rat 1 2; seed = 14 })
+      ()
+  in
+  Alcotest.(check bool) "bootstrapped run linearizable" true (R.ok report)
+
+(* Property: the bound holds for random offsets and random delay
+   granularities across n. *)
+let prop_bound =
+  QCheck.Test.make ~name:"sync bound (1-1/n)u over random instances" ~count:100
+    QCheck.(pair (int_range 2 8) (int_range 0 100_000))
+    (fun (n, seed) ->
+      let model = loose_model ~n in
+      let offsets = random_offsets ~n ~seed ~spread:80 in
+      let result =
+        Sim.Clock_sync.run ~model ~offsets
+          ~delay:(Sim.Net.random_model ~seed model)
+          ()
+      in
+      Rat.le result.achieved_skew result.guaranteed_skew)
+
+let () =
+  Alcotest.run "clock_sync"
+    [
+      ( "sync",
+        [
+          Alcotest.test_case "midpoint delays exact" `Quick
+            test_estimates_exact_with_midpoint_delays;
+          Alcotest.test_case "bound across seeds" `Quick test_bound_across_seeds;
+          Alcotest.test_case "adversarial delays" `Quick test_adversarial_delays;
+          Alcotest.test_case "centering" `Quick test_centering_preserves_skew;
+          Alcotest.test_case "bootstrap algorithm 1" `Quick
+            test_bootstrap_algorithm1;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_bound ]);
+    ]

@@ -1,0 +1,273 @@
+(* Tests for the discrete-event engine: timers, message delays, clock
+   offsets, response pairing, determinism, and failure modes. *)
+
+let rat = Rat.make
+let model = Sim.Model.make ~n:3 ~d:(rat 10 1) ~u:(rat 4 1) ~eps:(rat 2 1)
+
+(* A toy protocol: "ping" sends to the next process and responds on the
+   echo; "wait" sets a timer and responds when it fires, recording the
+   local clock value it observed. *)
+type msg = Ping | Pong
+type tag = Alarm
+
+let make_engine ?(offsets = Array.make 3 Rat.zero) ?(delay = Sim.Net.constant (rat 8 1))
+    ?(alarm = rat 5 1) ~on_local_time () =
+  let on_invoke (ctx : (msg, tag, string) Sim.Engine.ctx) inv =
+    match inv with
+    | "ping" -> ctx.send ~dst:((ctx.self + 1) mod ctx.n) Ping
+    | "wait" -> ignore (ctx.set_timer_after alarm Alarm)
+    | "clock" ->
+        on_local_time ctx.self ctx.local_time;
+        ctx.respond "clocked"
+    | "broadcast" -> ctx.broadcast Ping
+    | _ -> Alcotest.failf "unknown invocation %s" inv
+  in
+  let on_receive (ctx : (msg, tag, string) Sim.Engine.ctx) ~src msg =
+    match msg with
+    | Ping -> ctx.send ~dst:src Pong
+    | Pong -> ctx.respond "echoed"
+  in
+  let on_timer (ctx : (msg, tag, string) Sim.Engine.ctx) Alarm =
+    ctx.respond "alarm"
+  in
+  Sim.Engine.create ~model ~offsets ~delay
+    ~handlers:{ on_invoke; on_receive; on_timer }
+    ()
+
+let no_clock _ _ = ()
+
+let test_ping_roundtrip () =
+  let e = make_engine ~on_local_time:no_clock () in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "ping";
+  Sim.Engine.run e;
+  let ops = Sim.Trace.operations (Sim.Engine.trace e) in
+  match ops with
+  | [ op ] ->
+      Alcotest.(check string) "resp" "echoed" op.resp;
+      Alcotest.(check string) "latency = 2 * 8" "16"
+        (Rat.to_string (Rat.sub op.resp_time op.inv_time))
+  | _ -> Alcotest.fail "expected one operation"
+
+let test_timer_latency () =
+  let e = make_engine ~alarm:(rat 7 2) ~on_local_time:no_clock () in
+  Sim.Engine.schedule_invoke e ~at:(rat 1 1) ~proc:2 "wait";
+  Sim.Engine.run e;
+  let ops = Sim.Trace.operations (Sim.Engine.trace e) in
+  match ops with
+  | [ op ] ->
+      Alcotest.(check string) "resp" "alarm" op.resp;
+      Alcotest.(check string) "fires after exactly 7/2" "7/2"
+        (Rat.to_string (Rat.sub op.resp_time op.inv_time))
+  | _ -> Alcotest.fail "expected one operation"
+
+let test_local_clock_offsets () =
+  let seen = ref [] in
+  let offsets = [| Rat.zero; rat 1 1; rat (-1) 1 |] in
+  let e =
+    make_engine ~offsets ~on_local_time:(fun proc t -> seen := (proc, t) :: !seen)
+      ()
+  in
+  List.iter
+    (fun proc -> Sim.Engine.schedule_invoke e ~at:(rat 5 1) ~proc "clock")
+    [ 0; 1; 2 ];
+  Sim.Engine.run e;
+  let lookup proc = Rat.to_string (List.assoc proc !seen) in
+  Alcotest.(check string) "p0 local = real" "5" (lookup 0);
+  Alcotest.(check string) "p1 local = real + 1" "6" (lookup 1);
+  Alcotest.(check string) "p2 local = real - 1" "4" (lookup 2)
+
+let test_skew_rejected () =
+  match
+    make_engine ~offsets:[| Rat.zero; rat 5 1; Rat.zero |]
+      ~on_local_time:no_clock ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "offsets beyond eps must be rejected"
+
+let test_broadcast_counts () =
+  let e = make_engine ~on_local_time:no_clock () in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:1 "broadcast";
+  (* The protocol never responds to "broadcast"; drain events anyway. *)
+  (try Sim.Engine.run e with _ -> ());
+  let sends =
+    List.filter
+      (function Sim.Trace.Send _ -> true | _ -> false)
+      (Sim.Trace.events (Sim.Engine.trace e))
+  in
+  (* broadcast = n-1 pings, each answered by a pong to p1. *)
+  Alcotest.(check int) "2 pings + 2 pongs" 4 (List.length sends)
+
+let test_matrix_delays_respected () =
+  let m = Sim.Net.uniform_matrix ~n:3 (rat 8 1) in
+  m.(0).(1) <- rat 6 1;
+  m.(1).(0) <- rat 10 1;
+  let e = make_engine ~delay:(Sim.Net.matrix m) ~on_local_time:no_clock () in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "ping";
+  Sim.Engine.run e;
+  let ops = Sim.Trace.operations (Sim.Engine.trace e) in
+  Alcotest.(check string) "latency 6 + 10" "16"
+    (Rat.to_string
+       (let op = List.hd ops in
+        Rat.sub op.resp_time op.inv_time));
+  let delays =
+    List.map (fun (_, _, d) -> Rat.to_string d)
+      (Sim.Trace.message_delays (Sim.Engine.trace e))
+  in
+  Alcotest.(check (list string)) "recorded delays" [ "6"; "10" ] delays
+
+let test_determinism () =
+  let run () =
+    let e = make_engine ~on_local_time:no_clock () in
+    Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "ping";
+    Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:1 "ping";
+    Sim.Engine.schedule_invoke e ~at:(rat 1 2) ~proc:2 "wait";
+    Sim.Engine.run e;
+    List.map
+      (fun (op : (string, string) Sim.Trace.operation) ->
+        (op.proc, op.inv, op.resp, Rat.to_string op.resp_time))
+      (Sim.Trace.operations (Sim.Engine.trace e))
+  in
+  Alcotest.(check bool) "two identical runs" true (run () = run ())
+
+let test_double_invoke_rejected () =
+  let e = make_engine ~on_local_time:no_clock () in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "ping";
+  Sim.Engine.schedule_invoke e ~at:(rat 1 1) ~proc:0 "ping";
+  (* The second invocation lands while the first is pending. *)
+  match Sim.Engine.run e with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "overlapping invocation must be rejected"
+
+let test_invoke_in_past_rejected () =
+  let e = make_engine ~on_local_time:no_clock () in
+  Sim.Engine.schedule_invoke e ~at:(rat 2 1) ~proc:0 "wait";
+  Sim.Engine.run e;
+  match Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "wait" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "scheduling in the past must be rejected"
+
+let test_response_callback_closed_loop () =
+  let e = make_engine ~on_local_time:no_clock () in
+  let completions = ref 0 in
+  Sim.Engine.set_response_callback e (fun ~proc ~inv:_ ~resp:_ ~time ->
+      incr completions;
+      if !completions < 3 then
+        Sim.Engine.schedule_invoke e ~at:(Rat.add time Rat.one) ~proc "ping");
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "ping";
+  Sim.Engine.run e;
+  Alcotest.(check int) "three chained operations" 3 !completions;
+  Alcotest.(check int) "trace agrees" 3
+    (Sim.Trace.operation_count (Sim.Engine.trace e))
+
+let test_step_limit () =
+  (* A self-perpetuating timer chain must hit the step limit. *)
+  let on_invoke (ctx : (unit, unit, unit) Sim.Engine.ctx) () =
+    ignore (ctx.set_timer_after Rat.one ())
+  in
+  let on_timer (ctx : (unit, unit, unit) Sim.Engine.ctx) () =
+    ignore (ctx.set_timer_after Rat.one ())
+  in
+  let e =
+    Sim.Engine.create ~model ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.constant (rat 8 1))
+      ~handlers:
+        { on_invoke; on_receive = (fun _ ~src:_ () -> ()); on_timer }
+      ()
+  in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 ();
+  match Sim.Engine.run ~max_events:500 e with
+  | exception Sim.Engine.Step_limit_exceeded 500 -> ()
+  | _ -> Alcotest.fail "expected step limit"
+
+let test_send_validation () =
+  let on_invoke (ctx : (unit, unit, unit) Sim.Engine.ctx) target =
+    ctx.send ~dst:target ()
+  in
+  let make () =
+    Sim.Engine.create ~model ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.constant (rat 8 1))
+      ~handlers:
+        {
+          on_invoke;
+          on_receive = (fun _ ~src:_ () -> ());
+          on_timer = (fun _ () -> ());
+        }
+      ()
+  in
+  (* Sending to self and out-of-range destinations is rejected. *)
+  List.iter
+    (fun target ->
+      let e = make () in
+      Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:1 target;
+      match Sim.Engine.run e with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "send to %d must be rejected" target)
+    [ 1; -1; 7 ];
+  (* Negative timer durations are rejected too. *)
+  let on_invoke (ctx : (unit, unit, unit) Sim.Engine.ctx) () =
+    ignore (ctx.set_timer_after (rat (-1) 1) ())
+  in
+  let e =
+    Sim.Engine.create ~model ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.constant (rat 8 1))
+      ~handlers:
+        {
+          on_invoke;
+          on_receive = (fun _ ~src:_ () -> ());
+          on_timer = (fun _ () -> ());
+        }
+      ()
+  in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 ();
+  (match Sim.Engine.run e with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative timer duration must be rejected")
+
+let test_cancelled_timer_does_not_fire () =
+  let fired = ref false in
+  let on_invoke (ctx : (unit, string, string) Sim.Engine.ctx) _ =
+    let id = ctx.set_timer_after Rat.one "boom" in
+    ctx.cancel_timer id;
+    ignore (ctx.set_timer_after (rat 2 1) "ok")
+  in
+  let on_timer (ctx : (unit, string, string) Sim.Engine.ctx) tag =
+    if tag = "boom" then fired := true else ctx.respond tag
+  in
+  let e =
+    Sim.Engine.create ~model ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.constant (rat 8 1))
+      ~handlers:
+        { on_invoke; on_receive = (fun _ ~src:_ () -> ()); on_timer }
+      ()
+  in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "go";
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled timer silent" false !fired;
+  Alcotest.(check int) "the live timer responded" 1
+    (Sim.Trace.operation_count (Sim.Engine.trace e))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ping roundtrip" `Quick test_ping_roundtrip;
+          Alcotest.test_case "timer latency" `Quick test_timer_latency;
+          Alcotest.test_case "local clocks" `Quick test_local_clock_offsets;
+          Alcotest.test_case "skew rejected" `Quick test_skew_rejected;
+          Alcotest.test_case "broadcast" `Quick test_broadcast_counts;
+          Alcotest.test_case "matrix delays" `Quick test_matrix_delays_respected;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "double invoke rejected" `Quick
+            test_double_invoke_rejected;
+          Alcotest.test_case "invoke in past rejected" `Quick
+            test_invoke_in_past_rejected;
+          Alcotest.test_case "closed loop callback" `Quick
+            test_response_callback_closed_loop;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "send/timer validation" `Quick
+            test_send_validation;
+          Alcotest.test_case "cancelled timer" `Quick
+            test_cancelled_timer_does_not_fire;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+(* Tests for the simulation event queue: min-heap ordering and FIFO
+   tie-breaking. *)
+
+let rat = Rat.make
+
+let test_empty () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.(check bool) "is_empty" true (Sim.Event_queue.is_empty q);
+  Alcotest.(check int) "length 0" 0 (Sim.Event_queue.length q);
+  Alcotest.(check bool) "pop None" true (Sim.Event_queue.pop q = None);
+  Alcotest.(check bool) "peek None" true (Sim.Event_queue.peek_time q = None)
+
+let test_ordering () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q ~time:(rat 3 1) "c";
+  Sim.Event_queue.push q ~time:(rat 1 1) "a";
+  Sim.Event_queue.push q ~time:(rat 2 1) "b";
+  Alcotest.(check (option string))
+    "peek time is 1" (Some "1")
+    (Option.map Rat.to_string (Sim.Event_queue.peek_time q));
+  let pop_payload () = snd (Option.get (Sim.Event_queue.pop q)) in
+  Alcotest.(check string) "a first" "a" (pop_payload ());
+  Alcotest.(check string) "b second" "b" (pop_payload ());
+  Alcotest.(check string) "c third" "c" (pop_payload ());
+  Alcotest.(check bool) "now empty" true (Sim.Event_queue.is_empty q)
+
+let test_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  List.iter (fun s -> Sim.Event_queue.push q ~time:Rat.one s) [ "x"; "y"; "z" ];
+  Sim.Event_queue.push q ~time:Rat.zero "first";
+  let order = List.init 4 (fun _ -> snd (Option.get (Sim.Event_queue.pop q))) in
+  Alcotest.(check (list string))
+    "FIFO among equal times"
+    [ "first"; "x"; "y"; "z" ]
+    order
+
+let test_interleaved () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q ~time:(rat 5 1) 5;
+  Sim.Event_queue.push q ~time:(rat 1 1) 1;
+  Alcotest.(check (option (pair string int)))
+    "pop 1"
+    (Some ("1", 1))
+    (Option.map (fun (t, v) -> (Rat.to_string t, v)) (Sim.Event_queue.pop q));
+  Sim.Event_queue.push q ~time:(rat 3 1) 3;
+  Sim.Event_queue.push q ~time:(rat 2 1) 2;
+  let rest = List.init 3 (fun _ -> snd (Option.get (Sim.Event_queue.pop q))) in
+  Alcotest.(check (list int)) "sorted rest" [ 2; 3; 5 ] rest
+
+(* Property: draining the queue yields times in non-decreasing order,
+   whatever the insertion order, including fractional times. *)
+let arb_times =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 200)
+    (QCheck.map
+       (fun (n, d) -> Rat.make (abs n) (1 + abs d))
+       QCheck.(pair (int_range 0 500) (int_range 0 16)))
+
+let prop_sorted_drain =
+  QCheck.Test.make ~name:"drain is sorted" ~count:200 arb_times (fun times ->
+      let q = Sim.Event_queue.create () in
+      List.iteri (fun i t -> Sim.Event_queue.push q ~time:t i) times;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      let drained = drain [] in
+      List.length drained = List.length times
+      && List.for_all2 Rat.equal drained (List.sort Rat.compare times))
+
+let prop_fifo_stability =
+  QCheck.Test.make ~name:"equal times pop in insertion order" ~count:100
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let q = Sim.Event_queue.create () in
+      List.iter (fun i -> Sim.Event_queue.push q ~time:Rat.one i) (List.init n Fun.id);
+      let popped = List.init n (fun _ -> snd (Option.get (Sim.Event_queue.pop q))) in
+      popped = List.init n Fun.id)
+
+let () =
+  Alcotest.run "event_queue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sorted_drain; prop_fifo_stability ] );
+    ]

@@ -1,0 +1,116 @@
+(* Tests for model parameters and delay models. *)
+
+let rat = Rat.make
+let model = Sim.Model.make ~n:4 ~d:(rat 10 1) ~u:(rat 4 1) ~eps:(rat 3 1)
+
+let test_model_validation () =
+  let expect_invalid label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s should be rejected" label
+  in
+  expect_invalid "n=1" (fun () ->
+      Sim.Model.make ~n:1 ~d:Rat.one ~u:Rat.zero ~eps:Rat.zero);
+  expect_invalid "d=0" (fun () ->
+      Sim.Model.make ~n:2 ~d:Rat.zero ~u:Rat.zero ~eps:Rat.zero);
+  expect_invalid "u<0" (fun () ->
+      Sim.Model.make ~n:2 ~d:Rat.one ~u:(rat (-1) 1) ~eps:Rat.zero);
+  expect_invalid "u>d" (fun () ->
+      Sim.Model.make ~n:2 ~d:Rat.one ~u:(rat 2 1) ~eps:Rat.zero);
+  expect_invalid "eps<0" (fun () ->
+      Sim.Model.make ~n:2 ~d:Rat.one ~u:Rat.zero ~eps:(rat (-1) 1))
+
+let test_derived_quantities () =
+  Alcotest.(check string) "min delay" "6" (Rat.to_string (Sim.Model.min_delay model));
+  Alcotest.(check string)
+    "optimal eps = (1-1/4)*4 = 3" "3"
+    (Rat.to_string (Sim.Model.optimal_eps model));
+  let opt = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 10 1) ~u:(rat 4 1) in
+  Alcotest.(check string) "make_optimal_eps" "3" (Rat.to_string opt.eps)
+
+let test_delay_valid () =
+  Alcotest.(check bool) "d valid" true (Sim.Model.delay_valid model (rat 10 1));
+  Alcotest.(check bool) "d-u valid" true (Sim.Model.delay_valid model (rat 6 1));
+  Alcotest.(check bool) "below d-u invalid" false
+    (Sim.Model.delay_valid model (rat 59 10));
+  Alcotest.(check bool) "above d invalid" false
+    (Sim.Model.delay_valid model (rat 101 10))
+
+let test_skew_valid () =
+  Alcotest.(check bool) "zero offsets" true
+    (Sim.Model.skew_valid model (Array.make 4 Rat.zero));
+  Alcotest.(check bool) "within eps" true
+    (Sim.Model.skew_valid model [| Rat.zero; rat 3 1; rat 1 1; rat 2 1 |]);
+  Alcotest.(check bool) "beyond eps" false
+    (Sim.Model.skew_valid model [| Rat.zero; rat 7 2; Rat.zero; Rat.zero |]);
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Model.skew_valid: offsets array has wrong length")
+    (fun () -> ignore (Sim.Model.skew_valid model [| Rat.zero |]))
+
+let test_constant_and_matrix () =
+  let c = Sim.Net.constant (rat 7 1) in
+  Alcotest.(check string) "constant" "7"
+    (Rat.to_string (Sim.Net.delay c ~src:0 ~dst:1 ~time:Rat.zero ~seq:0));
+  let m = Sim.Net.uniform_matrix ~n:3 (rat 8 1) in
+  m.(0).(1) <- rat 6 1;
+  let net = Sim.Net.matrix m in
+  Alcotest.(check string) "matrix entry" "6"
+    (Rat.to_string (Sim.Net.delay net ~src:0 ~dst:1 ~time:Rat.zero ~seq:0));
+  Alcotest.(check string) "matrix default" "8"
+    (Rat.to_string (Sim.Net.delay net ~src:1 ~dst:0 ~time:Rat.zero ~seq:0));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Net.delay: index out of range") (fun () ->
+      ignore (Sim.Net.delay net ~src:0 ~dst:5 ~time:Rat.zero ~seq:0))
+
+let test_matrix_valid () =
+  let good = Sim.Net.uniform_matrix ~n:4 (rat 8 1) in
+  Alcotest.(check bool) "uniform valid" true (Sim.Net.matrix_valid model good);
+  good.(2).(3) <- rat 5 1;
+  Alcotest.(check bool) "entry below range" false
+    (Sim.Net.matrix_valid model good);
+  (* Diagonal entries are ignored. *)
+  let diag = Sim.Net.uniform_matrix ~n:4 (rat 8 1) in
+  diag.(1).(1) <- Rat.zero;
+  Alcotest.(check bool) "diagonal ignored" true (Sim.Net.matrix_valid model diag)
+
+let test_random_deterministic () =
+  let sample net =
+    List.init 20 (fun seq ->
+        Rat.to_string (Sim.Net.delay net ~src:0 ~dst:1 ~time:Rat.zero ~seq))
+  in
+  let a = sample (Sim.Net.random_model ~seed:5 model) in
+  let b = sample (Sim.Net.random_model ~seed:5 model) in
+  let c = sample (Sim.Net.random_model ~seed:6 model) in
+  Alcotest.(check (list string)) "same seed same delays" a b;
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let prop_random_in_range =
+  QCheck.Test.make ~name:"random delays lie in [d-u, d]" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let net = Sim.Net.random_model ~seed model in
+      List.for_all
+        (fun seq ->
+          Sim.Model.delay_valid model
+            (Sim.Net.delay net ~src:1 ~dst:2 ~time:Rat.zero ~seq))
+        (List.init 50 Fun.id))
+
+let () =
+  Alcotest.run "model_net"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_model_validation;
+          Alcotest.test_case "derived quantities" `Quick test_derived_quantities;
+          Alcotest.test_case "delay_valid" `Quick test_delay_valid;
+          Alcotest.test_case "skew_valid" `Quick test_skew_valid;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "constant and matrix" `Quick test_constant_and_matrix;
+          Alcotest.test_case "matrix_valid" `Quick test_matrix_valid;
+          Alcotest.test_case "random deterministic" `Quick test_random_deterministic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_in_range ] );
+    ]

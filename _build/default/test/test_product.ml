@@ -1,0 +1,166 @@
+(* Tests for the product composition functor and linearizability
+   locality (paper §2.3): a product-object run is linearizable, and so
+   is each per-object projection. *)
+
+module RQ = Spec.Product.Make (Spec.Register) (Spec.Fifo_queue)
+module Sem = Spec.Data_type.Semantics (RQ)
+module Check = Lin.Checker.Make (RQ)
+module RegCheck = Lin.Checker.Make (Spec.Register)
+module QCheckr = Lin.Checker.Make (Spec.Fifo_queue)
+module Algo = Core.Wtlw.Make (RQ)
+
+let rat = Rat.make
+let model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 10 1) ~u:(rat 4 1)
+
+let test_sequential_semantics () =
+  let instances, (reg, queue) =
+    Sem.perform_seq
+      [
+        RQ.Left (Spec.Register.Write 7);
+        RQ.Right (Spec.Fifo_queue.Enqueue 1);
+        RQ.Left Spec.Register.Read;
+        RQ.Right Spec.Fifo_queue.Dequeue;
+      ]
+  in
+  Alcotest.(check bool) "sides do not interfere" true (reg = 7 && queue = []);
+  Alcotest.(check bool) "legal" true (Sem.legal instances);
+  let responses = List.map (fun (i : Sem.instance) -> i.resp) instances in
+  Alcotest.(check bool) "responses routed to the right side" true
+    (responses
+    = [
+        RQ.Left_r Spec.Register.Ack;
+        RQ.Right_r Spec.Fifo_queue.Ack;
+        RQ.Left_r (Spec.Register.Value 7);
+        RQ.Right_r (Spec.Fifo_queue.Got (Some 1));
+      ])
+
+let test_operations_tagged () =
+  Alcotest.(check int) "2 + 3 operations" 5 (List.length RQ.operations);
+  Alcotest.(check bool) "kinds preserved" true
+    (List.assoc "l:write" RQ.operations = Spec.Op_kind.Pure_mutator
+    && List.assoc "l:read" RQ.operations = Spec.Op_kind.Pure_accessor
+    && List.assoc "r:dequeue" RQ.operations = Spec.Op_kind.Mixed);
+  List.iter
+    (fun (op, _) ->
+      let samples = RQ.sample_invocations op in
+      Alcotest.(check bool)
+        (op ^ " samples tagged consistently")
+        true
+        (samples <> [] && List.for_all (fun inv -> RQ.op_of inv = op) samples))
+    RQ.operations
+
+(* Classification is preserved through the product. *)
+let test_classification_preserved () =
+  let module C = Spec.Classify.Make (RQ) in
+  let u = C.default_universe () in
+  Alcotest.(check bool) "l:write last-sensitive" true
+    (C.is_last_sensitive u ~k:2 "l:write");
+  Alcotest.(check bool) "r:enqueue last-sensitive" true
+    (C.is_last_sensitive u ~k:2 "r:enqueue");
+  Alcotest.(check bool) "r:dequeue pair-free" true (C.is_pair_free u "r:dequeue");
+  Alcotest.(check bool) "l:read pure accessor" true
+    (C.discovered_kind u "l:read" = Some Spec.Op_kind.Pure_accessor);
+  (* Overwriter-ness is NOT preserved by products: a left write resets
+     only the register half, so interposing a right-side mutator leaves
+     a different (queue) state — the checker correctly demotes it. *)
+  Alcotest.(check bool) "l:write no longer an overwriter" false
+    (C.is_overwriter u "l:write")
+
+let project ops =
+  let left =
+    List.filter_map
+      (fun (op : (RQ.invocation, RQ.response) Sim.Trace.operation) ->
+        match (op.inv, op.resp) with
+        | RQ.Left inv, RQ.Left_r resp ->
+            Some { op with Sim.Trace.inv; resp }
+        | _ -> None)
+      ops
+  in
+  let right =
+    List.filter_map
+      (fun (op : (RQ.invocation, RQ.response) Sim.Trace.operation) ->
+        match (op.inv, op.resp) with
+        | RQ.Right inv, RQ.Right_r resp ->
+            Some { op with Sim.Trace.inv; resp }
+        | _ -> None)
+      ops
+  in
+  (left, right)
+
+let test_wtlw_over_product_and_locality () =
+  List.iter
+    (fun seed ->
+      let cluster =
+        Algo.create ~model ~x:(rat 2 1)
+          ~offsets:[| Rat.zero; rat 1 1; rat (-1) 1; rat 3 2 |]
+          ~delay:(Sim.Net.random_model ~seed model)
+          ()
+      in
+      let rng = Random.State.make [| seed |] in
+      for k = 0 to 19 do
+        Sim.Engine.schedule_invoke cluster.engine
+          ~at:(rat (k * 30) 1)
+          ~proc:(k mod 4) (RQ.gen_invocation rng)
+      done;
+      Sim.Engine.run cluster.engine;
+      let ops = Sim.Trace.operations (Sim.Engine.trace cluster.engine) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: product run linearizable" seed)
+        true (Check.is_linearizable ops);
+      (* Locality: each projection is linearizable on its own. *)
+      let left, right = project ops in
+      Alcotest.(check int) "all ops projected" (List.length ops)
+        (List.length left + List.length right);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: register projection linearizable" seed)
+        true
+        (RegCheck.is_linearizable left);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: queue projection linearizable" seed)
+        true
+        (QCheckr.is_linearizable right))
+    [ 1; 2; 3 ]
+
+(* A corrupted product history fails, and the failure localizes to the
+   side that was corrupted. *)
+let test_locality_of_violations () =
+  let mk ~proc ~inv ~resp ~s ~e : Check.op =
+    { proc; inv; resp; inv_time = rat s 1; resp_time = rat e 1 }
+  in
+  let history =
+    [
+      mk ~proc:0 ~inv:(RQ.Left (Spec.Register.Write 1))
+        ~resp:(RQ.Left_r Spec.Register.Ack) ~s:0 ~e:1;
+      mk ~proc:1 ~inv:(RQ.Right (Spec.Fifo_queue.Enqueue 9))
+        ~resp:(RQ.Right_r Spec.Fifo_queue.Ack) ~s:2 ~e:3;
+      (* corrupted read: register holds 1 *)
+      mk ~proc:0 ~inv:(RQ.Left Spec.Register.Read)
+        ~resp:(RQ.Left_r (Spec.Register.Value 5)) ~s:4 ~e:5;
+      mk ~proc:1 ~inv:(RQ.Right Spec.Fifo_queue.Peek)
+        ~resp:(RQ.Right_r (Spec.Fifo_queue.Got (Some 9))) ~s:6 ~e:7;
+    ]
+  in
+  Alcotest.(check bool) "product history rejected" false
+    (Check.is_linearizable history);
+  let left, right = project history in
+  Alcotest.(check bool) "left projection rejected" false
+    (RegCheck.is_linearizable left);
+  Alcotest.(check bool) "right projection fine" true
+    (QCheckr.is_linearizable right)
+
+let () =
+  Alcotest.run "product"
+    [
+      ( "product",
+        [
+          Alcotest.test_case "sequential semantics" `Quick
+            test_sequential_semantics;
+          Alcotest.test_case "operations tagged" `Quick test_operations_tagged;
+          Alcotest.test_case "classification preserved" `Quick
+            test_classification_preserved;
+          Alcotest.test_case "wtlw + locality" `Quick
+            test_wtlw_over_product_and_locality;
+          Alcotest.test_case "violations localize" `Quick
+            test_locality_of_violations;
+        ] );
+    ]

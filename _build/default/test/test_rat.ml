@@ -1,0 +1,165 @@
+(* Unit and property tests for exact rational arithmetic. *)
+
+let rat = Rat.make
+let check_rat = Alcotest.testable Rat.pp Rat.equal
+let eq msg a b = Alcotest.check check_rat msg a b
+
+let test_normalization () =
+  eq "6/4 = 3/2" (rat 3 2) (rat 6 4);
+  eq "-6/-4 = 3/2" (rat 3 2) (rat (-6) (-4));
+  eq "6/-4 = -3/2" (rat (-3) 2) (rat 6 (-4));
+  eq "0/5 = 0" Rat.zero (rat 0 5);
+  Alcotest.(check int) "num of 6/4" 3 (Rat.num (rat 6 4));
+  Alcotest.(check int) "den of 6/4" 2 (Rat.den (rat 6 4));
+  Alcotest.(check int) "den always positive" 2 (Rat.den (rat 1 (-2)));
+  Alcotest.(check int) "num carries sign" (-1) (Rat.num (rat 1 (-2)))
+
+let test_zero_denominator () =
+  Alcotest.check_raises "make x 0 raises" Division_by_zero (fun () ->
+      ignore (rat 1 0))
+
+let test_arithmetic () =
+  eq "1/2 + 1/3 = 5/6" (rat 5 6) (Rat.add (rat 1 2) (rat 1 3));
+  eq "1/2 - 1/3 = 1/6" (rat 1 6) (Rat.sub (rat 1 2) (rat 1 3));
+  eq "2/3 * 3/4 = 1/2" (rat 1 2) (Rat.mul (rat 2 3) (rat 3 4));
+  eq "(1/2) / (1/4) = 2" (rat 2 1) (Rat.div (rat 1 2) (rat 1 4));
+  eq "neg 1/2 = -1/2" (rat (-1) 2) (Rat.neg (rat 1 2));
+  eq "abs -1/2 = 1/2" (rat 1 2) (Rat.abs (rat (-1) 2));
+  eq "3/2 * 4 = 6" (rat 6 1) (Rat.mul_int (rat 3 2) 4);
+  eq "3/2 / 3 = 1/2" (rat 1 2) (Rat.div_int (rat 3 2) 3);
+  Alcotest.check_raises "div by zero rational" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero));
+  Alcotest.check_raises "div_int by zero" Division_by_zero (fun () ->
+      ignore (Rat.div_int Rat.one 0))
+
+let test_comparisons () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Rat.lt (rat 1 3) (rat 1 2));
+  Alcotest.(check bool) "-1/2 < 1/3" true (Rat.lt (rat (-1) 2) (rat 1 3));
+  Alcotest.(check bool) "2/4 = 1/2" true (Rat.equal (rat 2 4) (rat 1 2));
+  Alcotest.(check bool) "le reflexive" true (Rat.le (rat 7 3) (rat 7 3));
+  Alcotest.(check int) "sign of -3/4" (-1) (Rat.sign (rat (-3) 4));
+  Alcotest.(check int) "sign of 0" 0 (Rat.sign Rat.zero);
+  eq "min" (rat 1 3) (Rat.min (rat 1 3) (rat 1 2));
+  eq "max" (rat 1 2) (Rat.max (rat 1 3) (rat 1 2))
+
+let test_range () =
+  let lo = rat 1 2 and hi = rat 3 2 in
+  Alcotest.(check bool) "1 in [1/2,3/2]" true (Rat.in_range ~lo ~hi Rat.one);
+  Alcotest.(check bool) "bounds included" true
+    (Rat.in_range ~lo ~hi lo && Rat.in_range ~lo ~hi hi);
+  Alcotest.(check bool) "2 not in range" false (Rat.in_range ~lo ~hi (rat 2 1));
+  eq "clamp below" lo (Rat.clamp ~lo ~hi Rat.zero);
+  eq "clamp above" hi (Rat.clamp ~lo ~hi (rat 5 1));
+  eq "clamp inside" Rat.one (Rat.clamp ~lo ~hi Rat.one);
+  Alcotest.check_raises "clamp lo>hi" (Invalid_argument "Rat.clamp: lo > hi")
+    (fun () -> ignore (Rat.clamp ~lo:hi ~hi:lo Rat.one))
+
+let test_aggregates () =
+  eq "sum" (rat 11 6) (Rat.sum [ rat 1 2; rat 1 3; Rat.one ]);
+  eq "sum empty" Rat.zero (Rat.sum []);
+  eq "min_list" (rat (-1) 2) (Rat.min_list [ Rat.one; rat (-1) 2; rat 1 3 ]);
+  eq "max_list" Rat.one (Rat.max_list [ Rat.one; rat (-1) 2; rat 1 3 ]);
+  Alcotest.check_raises "min_list empty"
+    (Invalid_argument "Rat.min_list: empty list") (fun () ->
+      ignore (Rat.min_list []))
+
+let test_printing () =
+  Alcotest.(check string) "integer prints bare" "7" (Rat.to_string (rat 7 1));
+  Alcotest.(check string) "fraction prints num/den" "7/3"
+    (Rat.to_string (rat 7 3));
+  Alcotest.(check string) "negative" "-7/3" (Rat.to_string (rat 7 (-3)));
+  Alcotest.(check (float 1e-9)) "to_float" 2.5 (Rat.to_float (rat 5 2))
+
+let test_infix () =
+  let open Rat.Infix in
+  Alcotest.(check bool) "infix ops" true
+    (rat 1 2 + rat 1 3 = rat 5 6
+    && rat 1 2 - rat 1 3 = rat 1 6
+    && rat 1 2 * rat 2 3 = rat 1 3
+    && rat 1 2 / rat 1 4 = rat 2 1
+    && rat 1 3 < rat 1 2
+    && rat 1 2 <= rat 1 2
+    && rat 1 2 > rat 1 3
+    && rat 1 2 >= rat 1 2
+    && rat 1 2 <> rat 1 3
+    && ~-(rat 1 2) = rat (-1) 2)
+
+(* Property tests: rationals with small components form a totally
+   ordered field (no overflow at these scales). *)
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.make n (1 + abs d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range 0 60))
+
+let prop name count law = QCheck.Test.make ~name ~count law
+
+let properties =
+  [
+    prop "add commutative" 500
+      QCheck.(pair arb_rat arb_rat)
+      (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a));
+    prop "add associative" 500
+      QCheck.(triple arb_rat arb_rat arb_rat)
+      (fun (a, b, c) ->
+        Rat.equal (Rat.add a (Rat.add b c)) (Rat.add (Rat.add a b) c));
+    prop "mul distributes over add" 500
+      QCheck.(triple arb_rat arb_rat arb_rat)
+      (fun (a, b, c) ->
+        Rat.equal
+          (Rat.mul a (Rat.add b c))
+          (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    prop "sub inverse of add" 500
+      QCheck.(pair arb_rat arb_rat)
+      (fun (a, b) -> Rat.equal (Rat.sub (Rat.add a b) b) a);
+    prop "div inverse of mul (nonzero)" 500
+      QCheck.(pair arb_rat arb_rat)
+      (fun (a, b) ->
+        QCheck.assume (not (Rat.is_zero b));
+        Rat.equal (Rat.div (Rat.mul a b) b) a);
+    prop "compare total order: antisymmetry" 500
+      QCheck.(pair arb_rat arb_rat)
+      (fun (a, b) ->
+        let c1 = Rat.compare a b and c2 = Rat.compare b a in
+        (c1 = 0 && c2 = 0) || c1 * c2 < 0);
+    prop "compare transitive" 500
+      QCheck.(triple arb_rat arb_rat arb_rat)
+      (fun (a, b, c) ->
+        let sorted = List.sort Rat.compare [ a; b; c ] in
+        match sorted with
+        | [ x; y; z ] -> Rat.le x y && Rat.le y z
+        | _ -> false);
+    prop "to_float monotone" 500
+      QCheck.(pair arb_rat arb_rat)
+      (fun (a, b) ->
+        QCheck.assume (Rat.lt a b);
+        Rat.to_float a <= Rat.to_float b);
+    prop "normalization: gcd(num, den) = 1" 500 arb_rat (fun a ->
+        let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+        gcd (abs (Rat.num a)) (Rat.den a) = 1 || Rat.is_zero a);
+    prop "equal iff compare 0" 500
+      QCheck.(pair arb_rat arb_rat)
+      (fun (a, b) -> Rat.equal a b = (Rat.compare a b = 0));
+    prop "hash consistent with equality" 500
+      QCheck.(pair (pair (int_range (-50) 50) (int_range 1 20)) (int_range 1 5))
+      (fun ((n, d), k) ->
+        (* a and its unreduced form k*n / k*d are equal, so must hash
+           equally (normalization guarantees it). *)
+        Rat.hash (Rat.make n d) = Rat.hash (Rat.make (k * n) (k * d)));
+  ]
+
+let () =
+  Alcotest.run "rat"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "range and clamp" `Quick test_range;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "printing" `Quick test_printing;
+          Alcotest.test_case "infix" `Quick test_infix;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest properties);
+    ]

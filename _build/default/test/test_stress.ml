@@ -1,0 +1,163 @@
+(* Shift-stress tests: the proofs' adversarial scenarios applied to
+   Algorithm 1.  The algorithm meets the bounds, so whenever a shifted
+   run remains admissible it must remain linearizable. *)
+
+let rat = Rat.make
+let model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 12 1) ~u:(rat 4 1)
+let x_param = rat 2 1
+
+module Q = Spec.Fifo_queue
+module Reg = Spec.Register
+module QStress = Bounds.Stress.Make (Q)
+module RegStress = Bounds.Stress.Make (Reg)
+module RmwStress = Bounds.Stress.Make (Spec.Rmw_register)
+module StackStress = Bounds.Stress.Make (Spec.Stack_type)
+
+let assert_outcome label (o : QStress.outcome) =
+  Alcotest.(check bool) (label ^ ": base run linearizable") true
+    o.base_linearizable;
+  Alcotest.(check bool)
+    (label ^ ": shifted run linearizable when admissible")
+    true
+    ((not o.shifted_admissible) || o.shifted_linearizable)
+
+let assert_outcome_reg label (o : RegStress.outcome) =
+  Alcotest.(check bool) (label ^ ": base run linearizable") true
+    o.base_linearizable;
+  Alcotest.(check bool)
+    (label ^ ": shifted run linearizable when admissible")
+    true
+    ((not o.shifted_admissible) || o.shifted_linearizable)
+
+let test_thm2_scenario_queue () =
+  let outcome =
+    QStress.theorem2 ~model ~x_param
+      ~rho:[ Q.Enqueue 1; Q.Enqueue 2 ]
+      ~aop:Q.Peek ~op:Q.Dequeue ()
+  in
+  Alcotest.(check int) "all operations completed" 9 outcome.operations;
+  assert_outcome "thm2/queue" outcome
+
+let test_thm2_scenario_register () =
+  let outcome =
+    RegStress.theorem2 ~model ~x_param ~rho:[ Reg.Write 7 ] ~aop:Reg.Read
+      ~op:(Reg.Write 9) ()
+  in
+  assert_outcome_reg "thm2/register" outcome
+
+let test_thm3_scenario_all_z () =
+  (* k = 4 concurrent enqueues, one per process, for every possible
+     last-linearized process z. *)
+  List.iter
+    (fun z ->
+      let outcome =
+        QStress.theorem3 ~model ~x_param ~k:4 ~z ~rho:[ Q.Enqueue 0 ]
+          ~instances:[ Q.Enqueue 1; Q.Enqueue 2; Q.Enqueue 3; Q.Enqueue 4 ]
+          ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "z=%d ops" z)
+        5 outcome.operations;
+      assert_outcome (Printf.sprintf "thm3/z=%d" z) outcome)
+    [ 0; 1; 2; 3 ]
+
+let test_thm3_scenario_register_writes () =
+  let module RS = RegStress in
+  List.iter
+    (fun z ->
+      let outcome =
+        RS.theorem3 ~model ~x_param ~k:3 ~z ~rho:[]
+          ~instances:[ Reg.Write 1; Reg.Write 2; Reg.Write 3 ]
+          ()
+      in
+      assert_outcome_reg (Printf.sprintf "thm3/writes z=%d" z) outcome)
+    [ 0; 1; 2 ]
+
+let test_thm4_scenario_dequeue () =
+  let outcome =
+    QStress.theorem4 ~model ~x_param ~rho:[ Q.Enqueue 1 ] ~op0:Q.Dequeue
+      ~op1:Q.Dequeue ()
+  in
+  assert_outcome "thm4/dequeue" outcome
+
+let test_thm4_scenario_rmw () =
+  let module M = RmwStress in
+  let outcome =
+    M.theorem4 ~model ~x_param ~rho:[]
+      ~op0:(Spec.Rmw_register.Rmw (Spec.Rmw_register.Fetch_and_add 1))
+      ~op1:(Spec.Rmw_register.Rmw (Spec.Rmw_register.Fetch_and_add 2))
+      ()
+  in
+  Alcotest.(check bool) "thm4/rmw base linearizable" true
+    outcome.base_linearizable;
+  Alcotest.(check bool) "thm4/rmw shifted ok" true
+    ((not outcome.shifted_admissible) || outcome.shifted_linearizable)
+
+let test_thm4_scenario_pop () =
+  let module M = StackStress in
+  let outcome =
+    M.theorem4 ~model ~x_param
+      ~rho:[ Spec.Stack_type.Push 5 ]
+      ~op0:Spec.Stack_type.Pop ~op1:Spec.Stack_type.Pop ()
+  in
+  Alcotest.(check bool) "thm4/pop base linearizable" true
+    outcome.base_linearizable;
+  Alcotest.(check bool) "thm4/pop shifted ok" true
+    ((not outcome.shifted_admissible) || outcome.shifted_linearizable)
+
+let test_thm5_scenario_enqueue_peek () =
+  let outcome =
+    QStress.theorem5 ~model ~x_param ~rho:[] ~op0:(Q.Enqueue 1)
+      ~op1:(Q.Enqueue 2) ~aop0:Q.Peek ~aop1:Q.Peek ~aop2:Q.Peek ()
+  in
+  Alcotest.(check int) "thm5 ops" 5 outcome.operations;
+  assert_outcome "thm5/enqueue+peek" outcome
+
+(* Sweep over X to confirm the scenarios hold across the whole tradeoff
+   range (X governs how close the accessors run to the bound). *)
+let test_x_sweep () =
+  let x_max = Rat.sub model.d model.eps in
+  List.iter
+    (fun frac ->
+      let x = Rat.mul x_max (rat frac 4) in
+      let outcome =
+        QStress.theorem3 ~model ~x_param:x ~k:3 ~z:1 ~rho:[]
+          ~instances:[ Q.Enqueue 1; Q.Enqueue 2; Q.Enqueue 3 ]
+          ()
+      in
+      assert_outcome (Printf.sprintf "x sweep %d/4" frac) outcome)
+    [ 0; 1; 2; 3; 4 ]
+
+(* Property: random z / k / seeds over the theorem-3 scenario. *)
+let prop_thm3_random =
+  QCheck.Test.make ~name:"thm3 scenario over random k, z" ~count:30
+    QCheck.(pair (int_range 2 4) (int_range 0 3))
+    (fun (k, z_raw) ->
+      let z = z_raw mod k in
+      let instances = List.init k (fun i -> Q.Enqueue (i + 1)) in
+      let outcome =
+        QStress.theorem3 ~model ~x_param ~k ~z ~rho:[] ~instances ()
+      in
+      outcome.base_linearizable
+      && ((not outcome.shifted_admissible) || outcome.shifted_linearizable))
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "thm2 queue" `Quick test_thm2_scenario_queue;
+          Alcotest.test_case "thm2 register" `Quick test_thm2_scenario_register;
+          Alcotest.test_case "thm3 all z" `Quick test_thm3_scenario_all_z;
+          Alcotest.test_case "thm3 register writes" `Quick
+            test_thm3_scenario_register_writes;
+          Alcotest.test_case "thm4 dequeue" `Quick test_thm4_scenario_dequeue;
+          Alcotest.test_case "thm4 rmw" `Quick test_thm4_scenario_rmw;
+          Alcotest.test_case "thm4 pop" `Quick test_thm4_scenario_pop;
+          Alcotest.test_case "thm5 enqueue+peek" `Quick
+            test_thm5_scenario_enqueue_peek;
+          Alcotest.test_case "x sweep" `Quick test_x_sweep;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_thm3_random ] );
+    ]

@@ -1,0 +1,96 @@
+(* Tests for run traces: recording, operation extraction, delays. *)
+
+let rat = Rat.make
+let model = Sim.Model.make ~n:3 ~d:(rat 10 1) ~u:(rat 4 1) ~eps:(rat 2 1)
+
+type msg = M of int
+
+let sample_trace () =
+  let t : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
+  Sim.Trace.record t (Invoke { time = Rat.zero; proc = 0; inv = "write" });
+  Sim.Trace.record t
+    (Send { time = Rat.zero; src = 0; dst = 1; delay = rat 8 1; msg = M 1 });
+  Sim.Trace.record t
+    (Timer_set { time = Rat.zero; proc = 0; id = 0; expiry = rat 5 1 });
+  Sim.Trace.record t (Invoke { time = rat 1 1; proc = 1; inv = "read" });
+  Sim.Trace.record t (Respond { time = rat 3 1; proc = 1; inv = "read"; resp = 7 });
+  Sim.Trace.record t (Timer_fire { time = rat 5 1; proc = 0; id = 0 });
+  Sim.Trace.record t (Respond { time = rat 5 1; proc = 0; inv = "write"; resp = 0 });
+  Sim.Trace.record t (Deliver { time = rat 8 1; src = 0; dst = 1; msg = M 1 });
+  t
+
+let test_operations () =
+  let ops = Sim.Trace.operations (sample_trace ()) in
+  Alcotest.(check int) "two operations" 2 (List.length ops);
+  (* Sorted by invocation time. *)
+  let first = List.hd ops in
+  Alcotest.(check string) "first op is write" "write" first.inv;
+  Alcotest.(check int) "first proc" 0 first.proc;
+  Alcotest.(check string) "write latency 5" "5"
+    (Rat.to_string (Rat.sub first.resp_time first.inv_time));
+  let second = List.nth ops 1 in
+  Alcotest.(check string) "second op" "read" second.inv;
+  Alcotest.(check int) "read response" 7 second.resp
+
+let test_pending () =
+  let t : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
+  Sim.Trace.record t (Invoke { time = Rat.zero; proc = 2; inv = "dangling" });
+  Alcotest.(check int) "no completed ops" 0 (Sim.Trace.operation_count t);
+  Alcotest.(check (list (pair int string)))
+    "pending invocation" [ (2, "dangling") ]
+    (Sim.Trace.pending_invocations t)
+
+let test_overlap_rejected () =
+  let t : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
+  Sim.Trace.record t (Invoke { time = Rat.zero; proc = 0; inv = "a" });
+  Sim.Trace.record t (Invoke { time = Rat.one; proc = 0; inv = "b" });
+  Alcotest.check_raises "overlapping invocations"
+    (Invalid_argument "Trace.operations: overlapping invocations at a process")
+    (fun () -> ignore (Sim.Trace.operations t));
+  let t2 : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
+  Sim.Trace.record t2 (Respond { time = Rat.zero; proc = 0; inv = "a"; resp = 1 });
+  Alcotest.check_raises "response without invocation"
+    (Invalid_argument "Trace.operations: response without invocation")
+    (fun () -> ignore (Sim.Trace.operations t2))
+
+let test_delays () =
+  let t = sample_trace () in
+  Alcotest.(check int) "one message" 1 (List.length (Sim.Trace.message_delays t));
+  Alcotest.(check bool) "delay 8 admissible" true
+    (Sim.Trace.delays_admissible model t);
+  let bad : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
+  Sim.Trace.record bad
+    (Send { time = Rat.zero; src = 0; dst = 1; delay = rat 11 1; msg = M 0 });
+  Alcotest.(check bool) "delay 11 > d inadmissible" false
+    (Sim.Trace.delays_admissible model bad)
+
+let test_last_time () =
+  Alcotest.(check string) "empty trace last time 0" "0"
+    (Rat.to_string (Sim.Trace.last_time (Sim.Trace.create ())));
+  Alcotest.(check string) "sample last time 8" "8"
+    (Rat.to_string (Sim.Trace.last_time (sample_trace ())))
+
+let test_of_events_roundtrip () =
+  let t = sample_trace () in
+  let rebuilt = Sim.Trace.of_events (Sim.Trace.events t) in
+  Alcotest.(check int) "same event count"
+    (List.length (Sim.Trace.events t))
+    (List.length (Sim.Trace.events rebuilt));
+  Alcotest.(check int) "same op count" (Sim.Trace.operation_count t)
+    (Sim.Trace.operation_count rebuilt)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "operation extraction" `Quick test_operations;
+          Alcotest.test_case "pending invocations" `Quick test_pending;
+          Alcotest.test_case "ill-formed histories rejected" `Quick
+            test_overlap_rejected;
+          Alcotest.test_case "message delays" `Quick test_delays;
+          Alcotest.test_case "last_time" `Quick test_last_time;
+          Alcotest.test_case "of_events roundtrip" `Quick
+            test_of_events_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for workload schedules and latency metrics. *)
+
+let rat = Rat.make
+
+let test_open_loop () =
+  let schedule =
+    Core.Workload.open_loop ~n:3 ~per_proc:4 ~spacing:(rat 10 1)
+      ~stagger:(rat 1 1) ~start:(rat 5 1)
+      ~gen:(fun ~proc ~k -> (proc, k))
+      ()
+  in
+  Alcotest.(check int) "3*4 entries" 12 (List.length schedule);
+  let find proc k =
+    List.find
+      (fun (e : (int * int) Core.Workload.entry) -> e.inv = (proc, k))
+      schedule
+  in
+  Alcotest.(check string) "p0 k0 at start" "5" (Rat.to_string (find 0 0).at);
+  Alcotest.(check string) "p2 k3 at 5+30+2" "37" (Rat.to_string (find 2 3).at);
+  Alcotest.(check int) "proc recorded" 2 (find 2 3).proc
+
+let test_random_open_loop_deterministic () =
+  let make seed =
+    Core.Workload.random_open_loop ~n:2 ~per_proc:5 ~spacing:(rat 20 1) ~seed
+      ~gen_invocation:Spec.Register.gen_invocation ()
+    |> List.map (fun (e : Spec.Register.invocation Core.Workload.entry) ->
+           (e.proc, Rat.to_string e.at, e.inv))
+  in
+  Alcotest.(check bool) "same seed same schedule" true (make 3 = make 3);
+  Alcotest.(check bool) "different seeds differ" true (make 3 <> make 4)
+
+let test_concurrent_bursts_overlap () =
+  let schedule =
+    Core.Workload.concurrent_bursts ~n:4 ~rounds:2 ~spacing:(rat 50 1)
+      ~gen:(fun ~proc:_ ~k:_ -> ())
+      ()
+  in
+  Alcotest.(check int) "4*2 entries" 8 (List.length schedule);
+  (* Within a round, distinct processes have distinct but very close
+     invocation times. *)
+  let round0 =
+    List.filter
+      (fun (e : unit Core.Workload.entry) -> Rat.lt e.at (rat 25 1))
+      schedule
+  in
+  Alcotest.(check int) "one per process in round 0" 4 (List.length round0);
+  let times = List.map (fun (e : unit Core.Workload.entry) -> e.at) round0 in
+  Alcotest.(check bool) "distinct times" true
+    (List.length (List.sort_uniq Rat.compare times) = 4);
+  Alcotest.(check bool) "all within 1/4 time unit" true
+    (Rat.lt (Rat.sub (Rat.max_list times) (Rat.min_list times)) (rat 1 4))
+
+let test_sort_schedule () =
+  let entries =
+    [
+      Core.Workload.entry ~proc:0 ~at:(rat 5 1) "b";
+      Core.Workload.entry ~proc:1 ~at:(rat 1 1) "a";
+      Core.Workload.entry ~proc:2 ~at:(rat 9 1) "c";
+    ]
+  in
+  let sorted = Core.Workload.sort_schedule entries in
+  Alcotest.(check (list string)) "sorted by time" [ "a"; "b"; "c" ]
+    (List.map (fun (e : string Core.Workload.entry) -> e.inv) sorted)
+
+let mk_op ~proc ~inv ~s ~e : (string, unit) Sim.Trace.operation =
+  { proc; inv; resp = (); inv_time = rat s 1; resp_time = rat e 1 }
+
+let test_latency_and_summary () =
+  let op = mk_op ~proc:0 ~inv:"x" ~s:3 ~e:10 in
+  Alcotest.(check string) "latency" "7" (Rat.to_string (Core.Metrics.latency op));
+  Alcotest.(check bool) "summarize empty" true (Core.Metrics.summarize [] = None);
+  match Core.Metrics.summarize [ rat 4 1; rat 6 1; rat 11 1 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check int) "count" 3 s.count;
+      Alcotest.(check string) "min" "4" (Rat.to_string s.min);
+      Alcotest.(check string) "max" "11" (Rat.to_string s.max);
+      Alcotest.(check string) "mean" "7" (Rat.to_string s.mean)
+
+let test_group_by_op () =
+  let ops =
+    [
+      mk_op ~proc:0 ~inv:"read" ~s:0 ~e:2;
+      mk_op ~proc:1 ~inv:"write" ~s:0 ~e:5;
+      mk_op ~proc:0 ~inv:"read" ~s:10 ~e:14;
+      mk_op ~proc:1 ~inv:"write" ~s:10 ~e:13;
+    ]
+  in
+  let by_op = Core.Metrics.by_op ~op_of:Fun.id ops in
+  Alcotest.(check int) "two groups" 2 (List.length by_op);
+  let read = List.assoc "read" by_op in
+  Alcotest.(check string) "read max" "4" (Rat.to_string read.max);
+  Alcotest.(check string) "read min" "2" (Rat.to_string read.min);
+  let write = List.assoc "write" by_op in
+  Alcotest.(check string) "write mean" "4" (Rat.to_string write.mean);
+  (* First-seen order is preserved. *)
+  Alcotest.(check (list string)) "group order" [ "read"; "write" ]
+    (List.map fst by_op)
+
+let test_max_latency () =
+  Alcotest.(check bool) "empty" true (Core.Metrics.max_latency [] = None);
+  let ops = [ mk_op ~proc:0 ~inv:"a" ~s:0 ~e:3; mk_op ~proc:0 ~inv:"b" ~s:5 ~e:11 ] in
+  Alcotest.(check string) "max over ops" "6"
+    (Rat.to_string (Option.get (Core.Metrics.max_latency ops)))
+
+let () =
+  Alcotest.run "workload_metrics"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "open loop" `Quick test_open_loop;
+          Alcotest.test_case "random deterministic" `Quick
+            test_random_open_loop_deterministic;
+          Alcotest.test_case "concurrent bursts" `Quick
+            test_concurrent_bursts_overlap;
+          Alcotest.test_case "sort" `Quick test_sort_schedule;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "latency and summary" `Quick
+            test_latency_and_summary;
+          Alcotest.test_case "group by op" `Quick test_group_by_op;
+          Alcotest.test_case "max latency" `Quick test_max_latency;
+        ] );
+    ]
