@@ -220,6 +220,72 @@ let classify_cmd =
           operations.")
     Term.(ret (const run $ type_arg))
 
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Audit every bundled data type and the bound tables (the CI \
+             lint gate).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the findings as JSON on stdout.")
+  in
+  let analyze_type_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "type"; "t" ] ~docv:"TYPE"
+          ~doc:
+            (Printf.sprintf "Audit a single data type; one of %s."
+               (String.concat ", " Analysis.Auditor.target_names)))
+  in
+  let run all json dtype =
+    let audited =
+      match (all, dtype) with
+      | false, Some name -> (
+          match Analysis.Auditor.find_target name with
+          | Some t ->
+              Ok
+                ( Analysis.Report.of_findings (Analysis.Auditor.audit_target t),
+                  name )
+          | None ->
+              Error
+                (Printf.sprintf "unknown data type %S; known: %s" name
+                   (String.concat ", " Analysis.Auditor.target_names)))
+      | _, _ -> Ok (Analysis.Auditor.audit_all (), "all data types + bound tables")
+    in
+    match audited with
+    | Error msg -> `Error (true, msg)
+    | Ok (report, label) ->
+        if json then Format.printf "%a@." Analysis.Report.pp_json report
+        else begin
+          Format.printf "repro analyze: %s@.@." label;
+          Format.printf "%a@." Analysis.Report.pp_human report
+        end;
+        if Analysis.Report.has_errors report then
+          `Error
+            ( false,
+              Printf.sprintf "analysis found %d error finding(s)"
+                (Analysis.Report.errors report) )
+        else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically audit the semantic artifacts — data-type specs \
+          (determinism, totality, canonical rendering, sample coverage), \
+          declared operation classifications against the discovered ones, \
+          and the bound tables' consistency and theorem preconditions — \
+          without running the simulator.  Exits nonzero on any \
+          error-severity finding.")
+    Term.(ret (const run $ all_arg $ json_arg $ analyze_type_arg))
+
 (* ---------------- claims ---------------- *)
 
 let claims_cmd =
@@ -357,6 +423,7 @@ let main =
     [
       tables_cmd;
       simulate_cmd;
+      analyze_cmd;
       classify_cmd;
       claims_cmd;
       ablate_cmd;

@@ -1,0 +1,34 @@
+(** Top-level driver over all passes and all bundled data types. *)
+
+type target = {
+  name : string;
+  spec_lint : unit -> Diagnostic.t list;
+  class_audit : unit -> Diagnostic.t list;
+}
+
+val target :
+  string ->
+  (module Spec.Data_type.S
+     with type state = 's
+      and type invocation = 'i
+      and type response = 'r) ->
+  'i list list ->
+  target
+(** Pack any data type (with extra search contexts) for auditing —
+    user-supplied specs can be audited the same way as the bundled
+    ones. *)
+
+val targets : target list
+(** The ten bundled data types, including the register × queue
+    product. *)
+
+val target_names : string list
+val find_target : string -> target option
+
+val audit_target : target -> Diagnostic.t list
+(** spec_lint + class_audit for one data type. *)
+
+val audit_types : unit -> Diagnostic.t list
+
+val audit_all : unit -> Report.t
+(** Everything: all types plus the bound-table audit. *)

@@ -27,11 +27,12 @@ module Make (T : Spec.Data_type.S) = struct
   let check (ops : op list) : op list option =
     let arr = Array.of_list ops in
     let total = Array.length arr in
-    let dead = Hashtbl.create 97 in
-    let key remaining state =
-      String.concat "," (List.map string_of_int remaining)
-      ^ "|" ^ T.show_state state
-    in
+    (* Memo key: the remaining index set (kept sorted — it is only ever
+       filtered from the sorted [0..total-1]) paired with the canonical
+       state rendering.  Structured, so hashing needs no intermediate
+       O(n)-sized concatenated string per DFS node. *)
+    let dead : (int list * string, unit) Hashtbl.t = Hashtbl.create 97 in
+    let key remaining state = (remaining, T.show_state state) in
     let rec dfs remaining state acc =
       match remaining with
       | [] -> Some (List.rev acc)

@@ -301,6 +301,36 @@ module Make (T : Data_type.S) = struct
      and instances found, so lower-bound stress scenarios can be
      auto-derived for any data type (see Bounds.Stress). *)
 
+  (* A context and instance behind a positive [is_mutator] answer. *)
+  let find_mutator_witness u op =
+    List.find_map
+      (fun (context, s0) ->
+        List.find_map
+          (fun inv ->
+            if not (T.equal_state s0 (state_then s0 inv)) then
+              Some (context, inv)
+            else None)
+          (T.sample_invocations op))
+      (contexts_with_states u)
+
+  (* A context, accessor instance and interposed instance behind a
+     positive [is_accessor] answer. *)
+  let find_accessor_witness u op =
+    List.find_map
+      (fun (context, s0) ->
+        List.find_map
+          (fun aop_inv ->
+            let before = response_in s0 aop_inv in
+            List.find_map
+              (fun mid ->
+                let after = response_in (state_then s0 mid) aop_inv in
+                if not (T.equal_response before after) then
+                  Some (context, aop_inv, mid)
+                else None)
+              (all_samples ()))
+          (T.sample_invocations op))
+      (contexts_with_states u)
+
   (* A context rho and k distinct instances witnessing
      last-sensitivity (Theorem 3's hypothesis). *)
   let find_last_sensitive_witness u ~k op =

@@ -82,6 +82,20 @@ module Make (T : Data_type.S) : sig
       instances op0, op1 admitting all three discriminators required by
       Theorem 5. *)
 
+  val find_mutator_witness :
+    universe -> string -> (T.invocation list * T.invocation) option
+  (** The context and state-changing instance behind a positive
+      {!is_mutator} answer — the concrete counterexample reported by
+      the static auditor when a declared pure accessor mutates. *)
+
+  val find_accessor_witness :
+    universe ->
+    string ->
+    (T.invocation list * T.invocation * T.invocation) option
+  (** Context, accessor instance and interposed instance behind a
+      positive {!is_accessor} answer (the interposed instance changes
+      the accessor's response). *)
+
   val find_last_sensitive_witness :
     universe -> k:int -> string -> (T.invocation list * T.invocation list) option
   (** The context sequence and [k] distinct instances behind a positive
