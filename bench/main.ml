@@ -518,6 +518,115 @@ let ablation_section () =
        ~fast_mutator:(Q.Enqueue 55) ~slow_mutator:(Q.Enqueue 66) ~probe:Q.Peek)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming trace pipeline: retention on vs off.                      *)
+
+type streaming_run = {
+  operations : int;
+  events : int;
+  messages : int;
+  pending : int;
+  admissible : bool;
+  wall_s : float;
+  live_words : int;  (** live heap at quiescence, trace still reachable *)
+}
+
+(* Drive one closed-loop queue workload on a cluster held locally, so
+   the trace is still reachable when the heap is measured: with
+   retention on the live set includes the full event list, with it off
+   only the O(operations) sink state remains.  (Runtime.run would have
+   dropped the engine — and the retained list with it — before any
+   measurement could see it.) *)
+let streaming_run ~retain ~per_proc ~seed () =
+  let cluster =
+    QAlgo.create ~retain_events:retain ~model ~x ~offsets
+      ~delay:(Sim.Net.random_model ~seed model)
+      ()
+  in
+  let engine = cluster.engine in
+  let rng = Random.State.make [| seed |] in
+  let remaining = Array.make model.n per_proc in
+  Sim.Engine.set_response_callback engine (fun ~proc ~inv:_ ~resp:_ ~time ->
+      if remaining.(proc) > 0 then begin
+        remaining.(proc) <- remaining.(proc) - 1;
+        Sim.Engine.schedule_invoke engine
+          ~at:(Rat.add time (rat 1 2))
+          ~proc (Q.gen_invocation rng)
+      end);
+  for proc = 0 to model.n - 1 do
+    remaining.(proc) <- remaining.(proc) - 1;
+    Sim.Engine.schedule_invoke engine
+      ~at:(Rat.make proc (2 * model.n))
+      ~proc (Q.gen_invocation rng)
+  done;
+  Gc.compact ();
+  let baseline = (Gc.stat ()).live_words in
+  let t0 = Unix.gettimeofday () in
+  Sim.Engine.run ~max_events:10_000_000 engine;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Gc.full_major ();
+  let live_words = Stdlib.max 0 ((Gc.stat ()).live_words - baseline) in
+  let trace = Sim.Engine.trace engine in
+  {
+    operations = Sim.Trace.operation_count trace;
+    events = Sim.Trace.event_count trace;
+    messages = Sim.Trace.send_count trace;
+    pending = Sim.Trace.pending_count trace;
+    admissible = Sim.Trace.delays_admissible model trace;
+    wall_s;
+    live_words;
+  }
+
+let streaming_section () =
+  section "Streaming sinks: closed-loop queue run, retention on vs off";
+  let per_proc = 2000 in
+  let retained = streaming_run ~retain:true ~per_proc ~seed:9 () in
+  let streamed = streaming_run ~retain:false ~per_proc ~seed:9 () in
+  Format.printf "%-22s %14s %14s@." "" "retained" "streaming";
+  let int_row label get =
+    Format.printf "%-22s %14d %14d@." label (get retained) (get streamed)
+  in
+  int_row "operations" (fun r -> r.operations);
+  int_row "events" (fun r -> r.events);
+  int_row "messages" (fun r -> r.messages);
+  int_row "live words at end" (fun r -> r.live_words);
+  Format.printf "%-22s %14.3f %14.3f@." "wall seconds" retained.wall_s
+    streamed.wall_s;
+  Format.printf "identical snapshots: %b (ops/events/messages/admissibility)@."
+    (retained.operations = streamed.operations
+    && retained.events = streamed.events
+    && retained.messages = streamed.messages
+    && retained.admissible = streamed.admissible)
+
+(* A small retention-off closed-loop run emitted as JSON on stdout, for
+   the CI bench-smoke artifact (BENCH_*.json): perf trajectory starts
+   accumulating without dragging the full benchmark suite into CI. *)
+let smoke_section () =
+  let module R = Core.Runtime.Make (Spec.Fifo_queue) in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    R.run ~retain_events:false ~model ~offsets
+      ~delay:(Sim.Net.random_model ~seed:11 model)
+      ~algorithm:(R.Wtlw { x })
+      ~workload:(R.Closed_loop { per_proc = 50; think = rat 1 2; seed = 11 })
+      ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let linearizable = Option.is_some report.linearization in
+  Format.printf
+    "{ \"bench\": \"closed-loop-queue-smoke\", \"algorithm\": \"wtlw\",@.";
+  Format.printf "  \"retain_events\": false, \"per_proc\": 50, \"n\": %d,@."
+    model.n;
+  Format.printf
+    "  \"operations\": %d, \"events\": %d, \"messages\": %d, \"pending\": %d,@."
+    (List.length report.operations)
+    report.events report.messages report.pending;
+  Format.printf "  \"linearizable\": %b, \"delays_admissible\": %b,@."
+    linearizable report.delays_admissible;
+  Format.printf "  \"wall_s\": %.6f }@." wall_s;
+  if not (linearizable && report.delays_admissible && report.pending = 0) then
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one per table.                            *)
 
 let bechamel_section () =
@@ -596,6 +705,11 @@ let bechamel_section () =
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if what = "smoke" then begin
+    (* JSON only, machine-readable: used by the CI bench-smoke step. *)
+    smoke_section ();
+    exit 0
+  end;
   let want s = what = "all" || what = s in
   if want "tables" then run_tables ();
   if want "figures" then begin
@@ -607,6 +721,7 @@ let () =
   if want "lemma4" then lemma4_and_baselines ();
   if want "sync" then clock_sync_section ();
   if want "sweeps" then sweep_section ();
+  if want "streaming" then streaming_section ();
   if want "ablations" then ablation_section ();
   if want "bechamel" then bechamel_section ();
   Format.printf "@.bench done (%s)@." what

@@ -90,6 +90,16 @@ let type_arg =
           "Data type: register, rmw-register, queue, stack, tree, set or \
            counter.")
 
+let no_retain_arg =
+  Arg.(
+    value & flag
+    & info [ "no-retain-events" ]
+        ~doc:
+          "Do not keep the per-message event list in memory; the report is \
+           built entirely from the trace's streaming sinks (O(operations) \
+           instead of O(events) memory) and is identical to a retained \
+           run's, including the linearizability check.")
+
 let algo_arg =
   Arg.(
     value
@@ -125,7 +135,7 @@ let tables_cmd =
 
 (* ---------------- simulate ---------------- *)
 
-let simulate (type s i r) n d u eps x algo seed ops
+let simulate (type s i r) n d u eps x algo seed ops no_retain
     (module T : Spec.Data_type.S
       with type state = s
        and type invocation = i
@@ -141,6 +151,7 @@ let simulate (type s i r) n d u eps x algo seed ops
   in
   let report =
     R.run ~model
+      ~retain_events:(not no_retain)
       ~offsets:(Array.make model.n Rat.zero)
       ~delay:(Sim.Net.random_model ~seed model)
       ~algorithm
@@ -155,17 +166,18 @@ let simulate (type s i r) n d u eps x algo seed ops
   else `Ok ()
 
 let simulate_cmd =
-  let run n d u eps x algo seed ops dtype =
+  let run n d u eps x algo seed ops no_retain dtype =
+    let go m = simulate n d u eps x algo seed ops no_retain m in
     match dtype with
-    | `Register -> simulate n d u eps x algo seed ops (module Spec.Register)
-    | `Rmw -> simulate n d u eps x algo seed ops (module Spec.Rmw_register)
-    | `Queue -> simulate n d u eps x algo seed ops (module Spec.Fifo_queue)
-    | `Stack -> simulate n d u eps x algo seed ops (module Spec.Stack_type)
-    | `Tree -> simulate n d u eps x algo seed ops (module Spec.Tree_type)
-    | `Set -> simulate n d u eps x algo seed ops (module Spec.Set_type)
-    | `Counter -> simulate n d u eps x algo seed ops (module Spec.Counter_type)
-    | `Pqueue -> simulate n d u eps x algo seed ops (module Spec.Priority_queue)
-    | `Log -> simulate n d u eps x algo seed ops (module Spec.Log_type)
+    | `Register -> go (module Spec.Register)
+    | `Rmw -> go (module Spec.Rmw_register)
+    | `Queue -> go (module Spec.Fifo_queue)
+    | `Stack -> go (module Spec.Stack_type)
+    | `Tree -> go (module Spec.Tree_type)
+    | `Set -> go (module Spec.Set_type)
+    | `Counter -> go (module Spec.Counter_type)
+    | `Pqueue -> go (module Spec.Priority_queue)
+    | `Log -> go (module Spec.Log_type)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -175,7 +187,7 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ algo_arg
-       $ seed_arg $ ops_arg $ type_arg))
+       $ seed_arg $ ops_arg $ no_retain_arg $ type_arg))
 
 (* ---------------- classify ---------------- *)
 

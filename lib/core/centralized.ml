@@ -20,7 +20,7 @@ module Make (T : Spec.Data_type.S) = struct
 
   let coordinator = 0
 
-  let create ~(model : Sim.Model.t) ~offsets ~delay () =
+  let create ?retain_events ~(model : Sim.Model.t) ~offsets ~delay () =
     let cluster = ref None in
     let get () = Option.get !cluster in
     let apply_master inv =
@@ -42,7 +42,7 @@ module Make (T : Spec.Data_type.S) = struct
     in
     let on_timer _ctx (() : tag) = assert false (* no timers are set *) in
     let engine =
-      Sim.Engine.create ~model ~offsets ~delay
+      Sim.Engine.create ?retain_events ~model ~offsets ~delay
         ~handlers:{ on_invoke; on_receive; on_timer }
         ()
     in

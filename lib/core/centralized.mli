@@ -17,6 +17,7 @@ module Make (T : Spec.Data_type.S) : sig
   (** Process id of the distinguished process (0). *)
 
   val create :
+    ?retain_events:bool ->
     model:Sim.Model.t ->
     offsets:Rat.t array ->
     delay:Sim.Net.t ->

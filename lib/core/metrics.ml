@@ -12,35 +12,86 @@ type summary = { count : int; min : Rat.t; max : Rat.t; mean : Rat.t }
 let latency (op : ('inv, 'resp) Sim.Trace.operation) =
   Rat.sub op.resp_time op.inv_time
 
+(* Streaming accumulator: O(1) state per stream, exact rational mean. *)
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable min : Rat.t;
+    mutable max : Rat.t;
+    mutable sum : Rat.t;
+  }
+
+  let create () =
+    { count = 0; min = Rat.zero; max = Rat.zero; sum = Rat.zero }
+
+  let add acc x =
+    if acc.count = 0 then begin
+      acc.min <- x;
+      acc.max <- x;
+      acc.sum <- x;
+      acc.count <- 1
+    end
+    else begin
+      acc.min <- Rat.min acc.min x;
+      acc.max <- Rat.max acc.max x;
+      acc.sum <- Rat.add acc.sum x;
+      acc.count <- acc.count + 1
+    end
+
+  let count acc = acc.count
+
+  let summary acc =
+    if acc.count = 0 then None
+    else
+      Some
+        {
+          count = acc.count;
+          min = acc.min;
+          max = acc.max;
+          mean = Rat.div_int acc.sum acc.count;
+        }
+end
+
+(* Keyed streaming accumulators, preserving first-seen key order. *)
+module Grouped = struct
+  type 'k t = {
+    table : ('k, Acc.t) Hashtbl.t;
+    mutable rev_order : 'k list;
+  }
+
+  let create () = { table = Hashtbl.create 8; rev_order = [] }
+
+  let add g k x =
+    let acc =
+      match Hashtbl.find_opt g.table k with
+      | Some acc -> acc
+      | None ->
+          let acc = Acc.create () in
+          Hashtbl.add g.table k acc;
+          g.rev_order <- k :: g.rev_order;
+          acc
+    in
+    Acc.add acc x
+
+  let summaries g =
+    List.rev_map
+      (fun k -> (k, Option.get (Acc.summary (Hashtbl.find g.table k))))
+      g.rev_order
+end
+
 let summarize = function
   | [] -> None
   | latencies ->
-      let count = List.length latencies in
-      Some
-        {
-          count;
-          min = Rat.min_list latencies;
-          max = Rat.max_list latencies;
-          mean = Rat.div_int (Rat.sum latencies) count;
-        }
+      let acc = Acc.create () in
+      List.iter (Acc.add acc) latencies;
+      Acc.summary acc
 
 (* Group latencies by an operation-derived key, preserving first-seen
    key order. *)
 let group_by ~key ops =
-  let order = ref [] in
-  let table = Hashtbl.create 8 in
-  List.iter
-    (fun op ->
-      let k = key op in
-      if not (Hashtbl.mem table k) then begin
-        order := k :: !order;
-        Hashtbl.add table k []
-      end;
-      Hashtbl.replace table k (latency op :: Hashtbl.find table k))
-    ops;
-  List.rev_map
-    (fun k -> (k, Option.get (summarize (List.rev (Hashtbl.find table k)))))
-    !order
+  let g = Grouped.create () in
+  List.iter (fun op -> Grouped.add g (key op) (latency op)) ops;
+  Grouped.summaries g
 
 let by_op ~op_of ops = group_by ~key:(fun op -> op_of op.Sim.Trace.inv) ops
 

@@ -11,6 +11,33 @@ type summary = { count : int; min : Rat.t; max : Rat.t; mean : Rat.t }
 val latency : ('inv, 'resp) Sim.Trace.operation -> Rat.t
 (** [resp_time - inv_time]. *)
 
+(** Streaming latency accumulator: O(1) state, exact rational mean.
+    Feed it from a {!Sim.Trace.on_operation} observer to summarize a
+    run without retaining per-operation latencies. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> Rat.t -> unit
+  val count : t -> int
+
+  val summary : t -> summary option
+  (** [None] before the first {!add}. *)
+end
+
+(** Keyed streaming accumulators (one {!Acc} per key), preserving
+    first-seen key order — the incremental form of {!by_op} /
+    {!by_kind}. *)
+module Grouped : sig
+  type 'k t
+
+  val create : unit -> 'k t
+  val add : 'k t -> 'k -> Rat.t -> unit
+
+  val summaries : 'k t -> ('k * summary) list
+  (** In first-seen key order. *)
+end
+
 val summarize : Rat.t list -> summary option
 (** [None] on the empty list; the mean is exact (rational). *)
 

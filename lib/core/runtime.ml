@@ -29,13 +29,13 @@ module Make (T : Spec.Data_type.S) = struct
     by_kind : (Spec.Op_kind.t * Metrics.summary) list;
     messages : int;
     events : int;
+    pending : int;
     delays_admissible : bool;
   }
 
   let kind_of inv = Sem.kind_of inv
 
-  (* Drive one engine (of any algorithm) through the workload and
-     collect the trace. *)
+  (* Drive one engine (of any algorithm) through the workload. *)
   let drive (type m g) ~(model : Sim.Model.t)
       (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
     (match workload with
@@ -60,54 +60,87 @@ module Make (T : Spec.Data_type.S) = struct
             ~at:(Rat.make proc (2 * model.n))
             ~proc (T.gen_invocation rng)
         done);
-    Sim.Engine.run engine;
-    Sim.Engine.trace engine
+    Sim.Engine.run engine
 
+  (* Assemble a report from the trace's incremental sink snapshots:
+     counters, pairing and admissibility are O(1) lookups, so the only
+     remaining pass is over completed operations (for the checker),
+     never over raw events. *)
   let report_of_trace ~model ~algorithm ~check trace =
     let operations = Sim.Trace.operations trace in
-    let events = List.length (Sim.Trace.events trace) in
-    let messages = List.length (Sim.Trace.message_delays trace) in
     {
       algorithm;
       operations;
       linearization = (if check then Checker.check operations else None);
       by_op = Metrics.by_op ~op_of:T.op_of operations;
       by_kind = Metrics.by_kind ~kind_of operations;
-      messages;
-      events;
+      messages = Sim.Trace.send_count trace;
+      events = Sim.Trace.event_count trace;
+      pending = Sim.Trace.pending_count trace;
       delays_admissible = Sim.Trace.delays_admissible model trace;
     }
 
-  let run ?(check = true) ~(model : Sim.Model.t) ~offsets ~delay ~algorithm
-      ~workload () =
+  (* Streaming variant used by [run]: latency summaries accumulate in
+     [Metrics.Grouped] sinks as responses are recorded, so the report
+     needs no per-operation metric pass afterwards. *)
+  let report_of_run (type m g) ~(model : Sim.Model.t) ~algorithm ~check
+      (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
+    let trace = Sim.Engine.trace engine in
+    let by_op_acc = Metrics.Grouped.create () in
+    let by_kind_acc = Metrics.Grouped.create () in
+    Sim.Trace.on_operation trace (fun op ->
+        let l = Metrics.latency op in
+        Metrics.Grouped.add by_op_acc (T.op_of op.inv) l;
+        Metrics.Grouped.add by_kind_acc (kind_of op.inv) l);
+    drive ~model engine workload;
+    let operations = Sim.Trace.operations trace in
+    {
+      algorithm;
+      operations;
+      linearization = (if check then Checker.check operations else None);
+      by_op = Metrics.Grouped.summaries by_op_acc;
+      by_kind = Metrics.Grouped.summaries by_kind_acc;
+      messages = Sim.Trace.send_count trace;
+      events = Sim.Trace.event_count trace;
+      pending = Sim.Trace.pending_count trace;
+      delays_admissible = Sim.Trace.delays_admissible model trace;
+    }
+
+  let run ?(check = true) ?retain_events ~(model : Sim.Model.t) ~offsets
+      ~delay ~algorithm ~workload () =
     let name = algorithm_name algorithm in
     match algorithm with
     | Wtlw { x } ->
-        let cluster = Wtlw_impl.create ~model ~x ~offsets ~delay () in
-        report_of_trace ~model ~algorithm:name ~check
-          (drive ~model cluster.engine workload)
+        let cluster =
+          Wtlw_impl.create ?retain_events ~model ~x ~offsets ~delay ()
+        in
+        report_of_run ~model ~algorithm:name ~check cluster.engine workload
     | Centralized ->
-        let cluster = Centralized_impl.create ~model ~offsets ~delay () in
-        report_of_trace ~model ~algorithm:name ~check
-          (drive ~model cluster.engine workload)
+        let cluster =
+          Centralized_impl.create ?retain_events ~model ~offsets ~delay ()
+        in
+        report_of_run ~model ~algorithm:name ~check cluster.engine workload
     | Tob ->
-        let cluster = Tob_impl.create ~model ~offsets ~delay () in
-        report_of_trace ~model ~algorithm:name ~check
-          (drive ~model cluster.engine workload)
+        let cluster =
+          Tob_impl.create ?retain_events ~model ~offsets ~delay ()
+        in
+        report_of_run ~model ~algorithm:name ~check cluster.engine workload
 
   (* A run is accepted when every operation completed, all delays were
      admissible, and a linearization was found. *)
   let ok report =
-    report.delays_admissible && Option.is_some report.linearization
+    report.pending = 0
+    && report.delays_admissible
+    && Option.is_some report.linearization
 
   let pp_report ppf r =
     Format.fprintf ppf "@[<v>%s: %d operations, %d messages, %d events@,"
       r.algorithm
       (List.length r.operations)
       r.messages r.events;
-    Format.fprintf ppf "linearizable: %b; delays admissible: %b@,"
+    Format.fprintf ppf "linearizable: %b; delays admissible: %b; pending: %d@,"
       (Option.is_some r.linearization)
-      r.delays_admissible;
+      r.delays_admissible r.pending;
     List.iter
       (fun (op, s) ->
         Format.fprintf ppf "  %-16s %a@," op Metrics.pp_summary s)

@@ -32,6 +32,7 @@ module Make (T : Spec.Data_type.S) : sig
     by_kind : (Spec.Op_kind.t * Metrics.summary) list;
     messages : int;
     events : int;
+    pending : int;  (** invocations that never received a response *)
     delays_admissible : bool;
   }
 
@@ -39,6 +40,7 @@ module Make (T : Spec.Data_type.S) : sig
 
   val run :
     ?check:bool ->
+    ?retain_events:bool ->
     model:Sim.Model.t ->
     offsets:Rat.t array ->
     delay:Sim.Net.t ->
@@ -46,11 +48,26 @@ module Make (T : Spec.Data_type.S) : sig
     workload:workload ->
     unit ->
     report
-  (** Build, drive to quiescence, and summarize.  [check] (default
-      true) controls whether the linearizability checker runs. *)
+  (** Build, drive to quiescence, and summarize in one pass over the
+      trace's streaming sinks.  [check] (default true) controls whether
+      the linearizability checker runs.  [retain_events] (default true)
+      is forwarded to the engine; with [false] the run keeps no
+      per-message event in memory and the report is built entirely from
+      the incremental sinks — counts, latency summaries, pairing and
+      admissibility are identical to a retained run. *)
+
+  val report_of_trace :
+    model:Sim.Model.t ->
+    algorithm:string ->
+    check:bool ->
+    ('msg, T.invocation, T.response) Sim.Trace.t ->
+    report
+  (** Summarize an existing trace (e.g. a hand-built or truncated one)
+      from its sink snapshots. *)
 
   val ok : report -> bool
-  (** Delays admissible and a linearization found. *)
+  (** Every operation completed ([pending = 0]), delays admissible, and
+      a linearization found. *)
 
   val pp_report : Format.formatter -> report -> unit
 end

@@ -29,7 +29,7 @@ module Make (T : Spec.Data_type.S) = struct
 
   type t = { engine : engine; states : pstate array }
 
-  let create ~(model : Sim.Model.t) ~offsets ~delay () =
+  let create ?retain_events ~(model : Sim.Model.t) ~offsets ~delay () =
     let states =
       Array.init model.n (fun _ ->
           { store = T.initial; queue = Timestamp.Map.empty; awaiting = None })
@@ -74,7 +74,7 @@ module Make (T : Spec.Data_type.S) = struct
       match tag with Execute ts -> execute_up_to states.(ctx.self) ctx ts
     in
     let engine =
-      Sim.Engine.create ~model ~offsets ~delay
+      Sim.Engine.create ?retain_events ~model ~offsets ~delay
         ~handlers:{ on_invoke; on_receive; on_timer }
         ()
     in

@@ -17,6 +17,7 @@ module Make (T : Spec.Data_type.S) : sig
   type t = { engine : engine; states : pstate array }
 
   val create :
+    ?retain_events:bool ->
     model:Sim.Model.t ->
     offsets:Rat.t array ->
     delay:Sim.Net.t ->

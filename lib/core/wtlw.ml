@@ -130,7 +130,8 @@ module Make (T : Spec.Data_type.S) = struct
     in
     drain ()
 
-  let create_with_timing ~(model : Sim.Model.t) ~timing ~offsets ~delay () =
+  let create_with_timing ?retain_events ~(model : Sim.Model.t) ~timing
+      ~offsets ~delay () =
     let states = Array.init model.n (fun _ -> fresh_pstate ()) in
     let add_to_queue p (ctx : (msg, tag, T.response) Sim.Engine.ctx) inv ts =
       let exec_timer = ctx.set_timer_after timing.execute_wait (Execute ts) in
@@ -186,7 +187,7 @@ module Make (T : Spec.Data_type.S) = struct
       | Execute ts -> execute_up_to p ctx ts
     in
     let engine =
-      Sim.Engine.create ~model ~offsets ~delay
+      Sim.Engine.create ?retain_events ~model ~offsets ~delay
         ~handlers:{ on_invoke; on_receive; on_timer }
         ()
     in
@@ -194,11 +195,11 @@ module Make (T : Spec.Data_type.S) = struct
 
   (* Algorithm 1 exactly as published: the default timing derived from
      the model and the tradeoff parameter X in [0, d - eps]. *)
-  let create ~(model : Sim.Model.t) ~x ~offsets ~delay () =
+  let create ?retain_events ~(model : Sim.Model.t) ~x ~offsets ~delay () =
     if not (Rat.in_range ~lo:Rat.zero ~hi:(Rat.sub model.d model.eps) x) then
       invalid_arg "Wtlw.create: X must lie in [0, d - eps]";
-    create_with_timing ~model ~timing:(default_timing model ~x) ~offsets
-      ~delay ()
+    create_with_timing ?retain_events ~model ~timing:(default_timing model ~x)
+      ~offsets ~delay ()
 
   let replica_state t i = t.states.(i).store
 

@@ -49,6 +49,7 @@ module Make (T : Spec.Data_type.S) : sig
   type t = { engine : engine; states : pstate array; timing : timing }
 
   val create :
+    ?retain_events:bool ->
     model:Sim.Model.t ->
     x:Rat.t ->
     offsets:Rat.t array ->
@@ -59,6 +60,7 @@ module Make (T : Spec.Data_type.S) : sig
       @raise Invalid_argument if [x] is outside [[0, d - eps]]. *)
 
   val create_with_timing :
+    ?retain_events:bool ->
     model:Sim.Model.t ->
     timing:timing ->
     offsets:Rat.t array ->

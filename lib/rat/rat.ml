@@ -1,6 +1,28 @@
 type t = { num : int; den : int }
 
+exception Overflow
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Checked machine arithmetic: the cross-multiplications in [add],
+   [mul] and friends silently wrap on adversarial numerators and
+   denominators; detect it and raise {!Overflow} instead of returning a
+   wrong rational. *)
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else if (a = min_int && b = -1) || (a = -1 && b = min_int) then
+    raise Overflow
+  else
+    let r = a * b in
+    if r / a <> b then raise Overflow else r
+
+let checked_add a b =
+  let r = a + b in
+  if a >= 0 = (b >= 0) && r >= 0 <> (a >= 0) then raise Overflow else r
+
+let checked_sub a b =
+  let r = a - b in
+  if a >= 0 <> (b >= 0) && r >= 0 <> (a >= 0) then raise Overflow else r
 
 let make num den =
   if den = 0 then raise Division_by_zero
@@ -15,21 +37,86 @@ let zero = of_int 0
 let one = of_int 1
 let num t = t.num
 let den t = t.den
-let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
-let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
-let mul a b = make (a.num * b.num) (a.den * b.den)
+
+(* Reduce before multiplying: a/b * c/d with g1 = gcd(a, d) and
+   g2 = gcd(c, b) keeps the intermediates as small as the final
+   normalized result, so [Overflow] fires only when the result itself
+   cannot be represented. *)
+let mul a b =
+  let g1 = gcd (Stdlib.abs a.num) b.den in
+  let g2 = gcd (Stdlib.abs b.num) a.den in
+  let g1 = if g1 = 0 then 1 else g1 in
+  let g2 = if g2 = 0 then 1 else g2 in
+  make
+    (checked_mul (a.num / g1) (b.num / g2))
+    (checked_mul (a.den / g2) (b.den / g1))
+
+(* a/b + c/d over the reduced common denominator lcm(b, d). *)
+let add a b =
+  let g = gcd a.den b.den in
+  let bd = b.den / g in
+  make
+    (checked_add (checked_mul a.num bd) (checked_mul b.num (a.den / g)))
+    (checked_mul a.den bd)
+
+let sub a b =
+  let g = gcd a.den b.den in
+  let bd = b.den / g in
+  make
+    (checked_sub (checked_mul a.num bd) (checked_mul b.num (a.den / g)))
+    (checked_mul a.den bd)
 
 let div a b =
   if b.num = 0 then raise Division_by_zero
-  else make (a.num * b.den) (a.den * b.num)
+  else
+    let g1 = gcd (Stdlib.abs a.num) (Stdlib.abs b.num) in
+    let g2 = gcd b.den a.den in
+    let g1 = if g1 = 0 then 1 else g1 in
+    let num = checked_mul (a.num / g1) (b.den / g2) in
+    let den = checked_mul (a.den / g2) (b.num / g1) in
+    make num den
 
 let neg a = { a with num = -a.num }
 let abs a = { a with num = Stdlib.abs a.num }
-let mul_int a k = make (a.num * k) a.den
-let div_int a k = if k = 0 then raise Division_by_zero else make a.num (a.den * k)
 
-(* Cross-multiplication keeps comparison exact; denominators are positive. *)
-let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let mul_int a k =
+  let g = gcd (Stdlib.abs k) a.den in
+  let g = if g = 0 then 1 else g in
+  make (checked_mul a.num (k / g)) (a.den / g)
+
+let div_int a k =
+  if k = 0 then raise Division_by_zero
+  else
+    let g = gcd (Stdlib.abs a.num) (Stdlib.abs k) in
+    let g = if g = 0 then 1 else g in
+    make (a.num / g) (checked_mul a.den (k / g))
+
+(* Exact comparison of two non-negative fractions with positive
+   denominators, overflow-free: compare integer parts, then recurse on
+   the flipped remainders (continued-fraction descent; the operands
+   strictly shrink). *)
+let rec compare_pos n1 d1 n2 d2 =
+  let q1 = n1 / d1 and q2 = n2 / d2 in
+  if q1 <> q2 then Stdlib.compare q1 q2
+  else
+    let r1 = n1 mod d1 and r2 = n2 mod d2 in
+    if r1 = 0 && r2 = 0 then 0
+    else if r1 = 0 then -1
+    else if r2 = 0 then 1
+    else compare_pos d2 r2 d1 r1
+
+(* Cross-multiplication keeps comparison exact; denominators are
+   positive.  When the cross products would overflow, fall back to the
+   exact continued-fraction descent instead of comparing wrapped
+   integers. *)
+let compare a b =
+  match Stdlib.compare (checked_mul a.num b.den) (checked_mul b.num a.den) with
+  | c -> c
+  | exception Overflow ->
+      let sa = Stdlib.compare a.num 0 and sb = Stdlib.compare b.num 0 in
+      if sa <> sb then Stdlib.compare sa sb
+      else if sa > 0 then compare_pos a.num a.den b.num b.den
+      else compare_pos (-b.num) b.den (-a.num) a.den
 let equal a b = compare a b = 0
 let lt a b = compare a b < 0
 let le a b = compare a b <= 0

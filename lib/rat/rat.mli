@@ -10,9 +10,22 @@
     Values are kept normalized: the denominator is positive and the
     numerator and denominator are coprime.  Numerators and denominators
     are OCaml [int]s (63-bit); simulation-scale arithmetic stays far
-    from overflow, and {!make} raises on a zero denominator. *)
+    from overflow, and {!make} raises on a zero denominator.
+
+    Overflow is never silent: intermediates are reduced by gcd before
+    cross-multiplying, comparison falls back to an exact
+    continued-fraction descent when the cross products would wrap, and
+    the arithmetic operations raise {!Overflow} when a result cannot be
+    represented in machine integers. *)
 
 type t
+
+exception Overflow
+(** Raised by the arithmetic operations ({!add}, {!sub}, {!mul},
+    {!div}, {!mul_int}, {!div_int}) when an intermediate or the result
+    exceeds machine-integer range even after gcd reduction.
+    {!compare} and friends never raise it — they switch to an exact
+    overflow-free algorithm instead. *)
 
 (** {1 Construction} *)
 

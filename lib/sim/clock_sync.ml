@@ -78,7 +78,8 @@ let run ~(model : Model.t) ~offsets ~delay () =
   in
   let on_timer _ctx () = () in
   let engine =
-    Engine.create ~model ~offsets ~delay
+    (* The sync round's trace is never consumed; skip retention. *)
+    Engine.create ~retain_events:false ~model ~offsets ~delay
       ~handlers:{ on_invoke; on_receive; on_timer }
       ()
   in

@@ -39,7 +39,7 @@ type ('msg, 'tag, 'inv, 'resp) t = {
 
 exception Step_limit_exceeded of int
 
-let create ~model ~offsets ~delay ~handlers () =
+let create ?(retain_events = true) ~model ~offsets ~delay ~handlers () =
   let n = (model : Model.t).n in
   if Array.length offsets <> n then
     invalid_arg "Engine.create: offsets length must equal model.n";
@@ -51,7 +51,7 @@ let create ~model ~offsets ~delay ~handlers () =
     delay;
     handlers;
     queue = Event_queue.create ();
-    trace = Trace.create ();
+    trace = Trace.create ~retain_events ~monitor:model ();
     cancelled = Hashtbl.create 64;
     pending = Array.make n None;
     send_seq = Array.make_matrix n n 0;

@@ -38,13 +38,20 @@ type ('msg, 'tag, 'inv, 'resp) handlers = {
 }
 
 val create :
+  ?retain_events:bool ->
   model:Model.t ->
   offsets:Rat.t array ->
   delay:Net.t ->
   handlers:('msg, 'tag, 'inv, 'resp) handlers ->
   unit ->
   ('msg, 'tag, 'inv, 'resp) t
-(** @raise Invalid_argument if [offsets] has length other than [model.n]
+(** The engine records every event into the trace's sink multiplexer;
+    [retain_events] (default [true]) is forwarded to {!Trace.create},
+    and the trace's admissibility monitor is armed with [model].
+    Disable retention for large closed-loop runs: all counters,
+    pairing, latency and admissibility views stay available at
+    O(operations) memory.
+    @raise Invalid_argument if [offsets] has length other than [model.n]
     or the offsets violate the model's skew bound. *)
 
 val model : ('msg, 'tag, 'inv, 'resp) t -> Model.t

@@ -1,13 +1,20 @@
 type 'a entry = { time : Rat.t; klass : int; seq : int; payload : 'a }
 
+(* Slots at index >= size are [None]: popped entries are cleared so a
+   completed event's payload cannot stay reachable through the heap
+   array for the rest of a long run. *)
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable heap : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
-  dummy : 'a option;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let get q i =
+  match q.heap.(i) with
+  | Some entry -> entry
+  | None -> assert false (* i < size by construction *)
 
 let entry_lt a b =
   let c = Rat.compare a.time b.time in
@@ -15,10 +22,10 @@ let entry_lt a b =
   else if a.klass <> b.klass then a.klass < b.klass
   else a.seq < b.seq
 
-let grow q entry =
+let grow q =
   let capacity = Array.length q.heap in
   if q.size = capacity then begin
-    let fresh = Array.make (Stdlib.max 16 (2 * capacity)) entry in
+    let fresh = Array.make (Stdlib.max 16 (2 * capacity)) None in
     Array.blit q.heap 0 fresh 0 q.size;
     q.heap <- fresh
   end
@@ -26,7 +33,7 @@ let grow q entry =
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt q.heap.(i) q.heap.(parent) then begin
+    if entry_lt (get q i) (get q parent) then begin
       let tmp = q.heap.(i) in
       q.heap.(i) <- q.heap.(parent);
       q.heap.(parent) <- tmp;
@@ -37,9 +44,9 @@ let rec sift_up q i =
 let rec sift_down q i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < q.size && entry_lt q.heap.(left) q.heap.(!smallest) then
+  if left < q.size && entry_lt (get q left) (get q !smallest) then
     smallest := left;
-  if right < q.size && entry_lt q.heap.(right) q.heap.(!smallest) then
+  if right < q.size && entry_lt (get q right) (get q !smallest) then
     smallest := right;
   if !smallest <> i then begin
     let tmp = q.heap.(i) in
@@ -51,23 +58,25 @@ let rec sift_down q i =
 let push q ?(priority = 1) ~time payload =
   let entry = { time; klass = priority; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.heap.(q.size) <- entry;
+  grow q;
+  q.heap.(q.size) <- Some entry;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
+    let top = get q 0 in
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.heap.(0) <- q.heap.(q.size);
+      q.heap.(q.size) <- None;
       sift_down q 0
-    end;
+    end
+    else q.heap.(0) <- None;
     Some (top.time, top.payload)
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q = if q.size = 0 then None else Some (get q 0).time
 let is_empty q = q.size = 0
 let length q = q.size

@@ -13,11 +13,6 @@ type ('msg, 'inv, 'resp) event =
   | Timer_fire of { time : Rat.t; proc : int; id : int }
   | Timer_cancel of { time : Rat.t; proc : int; id : int }
 
-type ('msg, 'inv, 'resp) t = {
-  mutable rev_events : ('msg, 'inv, 'resp) event list;
-  mutable count : int;
-}
-
 type ('inv, 'resp) operation = {
   proc : int;
   inv : 'inv;
@@ -26,16 +21,68 @@ type ('inv, 'resp) operation = {
   resp_time : Rat.t;
 }
 
-let create () = { rev_events = []; count = 0 }
+type ('msg, 'inv, 'resp) sink = {
+  name : string;
+  on_event : ('msg, 'inv, 'resp) event -> unit;
+}
 
-let of_events events =
-  { rev_events = List.rev events; count = List.length events }
+type violation = { at : Rat.t; src : int; dst : int; delay : Rat.t }
 
-let record t event =
-  t.rev_events <- event :: t.rev_events;
-  t.count <- t.count + 1
+(* Every built-in view below is maintained incrementally by [record]:
+   no accessor re-walks the event list.  The full event list itself is
+   just one more sink — the retention sink — and the only one that
+   costs O(events) memory; everything else is O(operations) (the
+   pairing sink) or O(1) (counters, delay envelope, admissibility). *)
+type ('msg, 'inv, 'resp) t = {
+  retain : bool;
+  mutable rev_events : ('msg, 'inv, 'resp) event list;
+  mutable count : int;
+  mutable sends : int;
+  mutable delivers : int;
+  (* Operation-pairing sink: invoke/response matching done online.
+     The at-most-one-pending-operation constraint (§2.2) makes the
+     pairing unambiguous. *)
+  pending : (int, Rat.t * 'inv) Hashtbl.t;
+  mutable rev_finished : ('inv, 'resp) operation list;
+  mutable finished : int;
+  mutable malformed : string option;
+  mutable op_observers : (('inv, 'resp) operation -> unit) list;
+  (* Delay envelope: min/max over all sends.  Delay admissibility is an
+     interval test, so the envelope answers [delays_admissible] for any
+     model in O(1). *)
+  mutable delay_env : (Rat.t * Rat.t) option;
+  (* Admissibility monitor: flags the first out-of-bounds delay as it
+     is recorded, against the model fixed at attach time. *)
+  mutable monitor : Model.t option;
+  mutable first_violation : violation option;
+  mutable last : Rat.t;
+  mutable extra_sinks : ('msg, 'inv, 'resp) sink list;
+}
 
-let events t = List.rev t.rev_events
+let create ?(retain_events = true) ?monitor () =
+  {
+    retain = retain_events;
+    rev_events = [];
+    count = 0;
+    sends = 0;
+    delivers = 0;
+    pending = Hashtbl.create 16;
+    rev_finished = [];
+    finished = 0;
+    malformed = None;
+    op_observers = [];
+    delay_env = None;
+    monitor;
+    first_violation = None;
+    last = Rat.zero;
+    extra_sinks = [];
+  }
+
+let retains_events t = t.retain
+
+let add_sink t sink = t.extra_sinks <- t.extra_sinks @ [ sink ]
+
+let on_operation t f = t.op_observers <- t.op_observers @ [ f ]
 
 let event_time = function
   | Invoke { time; _ }
@@ -46,39 +93,69 @@ let event_time = function
   | Timer_fire { time; _ }
   | Timer_cancel { time; _ } -> time
 
-let last_time t =
-  match t.rev_events with [] -> Rat.zero | event :: _ -> event_time event
-
-(* Pair each response with the pending invocation at the same process.
-   The at-most-one-pending-operation constraint (§2.2) makes the pairing
-   unambiguous. *)
-let fold_operations t =
-  let pending : (int, Rat.t * 'inv) Hashtbl.t = Hashtbl.create 16 in
-  let finished = ref [] in
-  let step = function
-    | Invoke { time; proc; inv } ->
-        if Hashtbl.mem pending proc then
-          invalid_arg "Trace.operations: overlapping invocations at a process";
-        Hashtbl.replace pending proc (time, inv)
-    | Respond { time; proc; resp; _ } -> (
-        match Hashtbl.find_opt pending proc with
-        | None -> invalid_arg "Trace.operations: response without invocation"
+let record t event =
+  t.count <- t.count + 1;
+  t.last <- event_time event;
+  (match event with
+  | Invoke { time; proc; inv } ->
+      if t.malformed = None then
+        if Hashtbl.mem t.pending proc then
+          t.malformed <-
+            Some "Trace.operations: overlapping invocations at a process"
+        else Hashtbl.replace t.pending proc (time, inv)
+  | Respond { time; proc; resp; _ } ->
+      if t.malformed = None then (
+        match Hashtbl.find_opt t.pending proc with
+        | None ->
+            t.malformed <-
+              Some "Trace.operations: response without invocation"
         | Some (inv_time, inv) ->
-            Hashtbl.remove pending proc;
-            finished :=
-              { proc; inv; resp; inv_time; resp_time = time } :: !finished)
-    | Send _ | Deliver _ | Timer_set _ | Timer_fire _ | Timer_cancel _ -> ()
-  in
-  List.iter step (events t);
-  (List.rev !finished, pending)
+            Hashtbl.remove t.pending proc;
+            let op = { proc; inv; resp; inv_time; resp_time = time } in
+            t.rev_finished <- op :: t.rev_finished;
+            t.finished <- t.finished + 1;
+            List.iter (fun observe -> observe op) t.op_observers)
+  | Send { time; src; dst; delay; _ } ->
+      t.sends <- t.sends + 1;
+      t.delay_env <-
+        (match t.delay_env with
+        | None -> Some (delay, delay)
+        | Some (lo, hi) -> Some (Rat.min lo delay, Rat.max hi delay));
+      (match t.monitor with
+      | Some model
+        when t.first_violation = None && not (Model.delay_valid model delay)
+        ->
+          t.first_violation <- Some { at = time; src; dst; delay }
+      | _ -> ())
+  | Deliver _ -> t.delivers <- t.delivers + 1
+  | Timer_set _ | Timer_fire _ | Timer_cancel _ -> ());
+  if t.retain then t.rev_events <- event :: t.rev_events;
+  List.iter (fun sink -> sink.on_event event) t.extra_sinks
+
+let of_events events =
+  let t = create () in
+  List.iter (record t) events;
+  t
+
+let events t =
+  if not t.retain then
+    invalid_arg "Trace.events: event retention is disabled";
+  List.rev t.rev_events
+
+let last_time t = t.last
+
+let check_well_formed t =
+  match t.malformed with None -> () | Some msg -> invalid_arg msg
 
 let operations t =
-  let finished, _pending = fold_operations t in
-  List.stable_sort (fun a b -> Rat.compare a.inv_time b.inv_time) finished
+  check_well_formed t;
+  List.stable_sort
+    (fun a b -> Rat.compare a.inv_time b.inv_time)
+    (List.rev t.rev_finished)
 
 let pending_invocations t =
-  let _finished, pending = fold_operations t in
-  Hashtbl.fold (fun proc (_, inv) acc -> (proc, inv) :: acc) pending []
+  check_well_formed t;
+  Hashtbl.fold (fun proc (_, inv) acc -> (proc, inv) :: acc) t.pending []
   |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
 
 let message_delays t =
@@ -89,19 +166,43 @@ let message_delays t =
       | Timer_cancel _ -> None)
     (events t)
 
+let delay_bounds t = t.delay_env
+
+(* The envelope suffices: all delays lie in [d - u, d] iff the extreme
+   ones do. *)
 let delays_admissible model t =
-  List.for_all
-    (fun (_, _, delay) -> Model.delay_valid model delay)
-    (message_delays t)
+  match t.delay_env with
+  | None -> true
+  | Some (lo, hi) -> Model.delay_valid model lo && Model.delay_valid model hi
+
+let monitor_admissibility t model =
+  t.monitor <- Some model;
+  (* Catch up on already-recorded sends when they were retained, so the
+     monitor is exact regardless of attach order. *)
+  if t.first_violation = None && t.retain then
+    List.iter
+      (function
+        | Send { time; src; dst; delay; _ }
+          when t.first_violation = None
+               && not (Model.delay_valid model delay) ->
+            t.first_violation <- Some { at = time; src; dst; delay }
+        | _ -> ())
+      (List.rev t.rev_events)
+
+let first_inadmissible t = t.first_violation
+
+let event_count t = t.count
+let send_count t = t.sends
+let deliver_count t = t.delivers
 
 let operation_count t =
-  let finished, _ = fold_operations t in
-  List.length finished
+  check_well_formed t;
+  t.finished
+
+let pending_count t =
+  check_well_formed t;
+  Hashtbl.length t.pending
 
 let pp_summary ppf t =
-  let sends =
-    List.length
-      (List.filter (function Send _ -> true | _ -> false) (events t))
-  in
   Format.fprintf ppf "trace: %d events, %d operations, %d messages, last=%a"
-    t.count (operation_count t) sends Rat.pp (last_time t)
+    t.count (operation_count t) t.sends Rat.pp t.last

@@ -1,10 +1,31 @@
-(** Run traces: the complete record of what happened during a simulation.
+(** Run traces as a streaming observer pipeline.
 
     A trace is the executable analogue of the paper's notion of a run (a
     set of timed views, §2.2): every invocation, response, message send
     and receive, and timer event, stamped with the real time at which it
-    occurred.  The lower-bound machinery in [lib/bounds] consumes traces
-    to check admissibility and to shift runs. *)
+    occurred.
+
+    Events flow through {!record} exactly once and fan out to a set of
+    incremental sinks:
+
+    - {b counters} — events, sends, deliveries ({!event_count},
+      {!send_count}, {!deliver_count});
+    - {b operation pairing} — invoke/response matching done online, so
+      {!operations}, {!operation_count}, {!pending_invocations} and the
+      {!on_operation} observers never re-scan the run;
+    - {b delay envelope} — the min/max message delay, which answers
+      {!delays_admissible} for any model in O(1);
+    - {b admissibility monitor} — flags the first out-of-bounds delay
+      the moment it is recorded ({!first_inadmissible});
+    - {b retention} — the full chronological event list, on by default
+      so the shifting/chopping machinery in [lib/bounds] and the tests
+      keep their {!events} view, and disableable
+      ([create ~retain_events:false]) so large closed-loop runs use
+      O(operations) rather than O(events) memory;
+    - any number of {b user sinks} attached with {!add_sink}.
+
+    All views other than {!events}/{!message_delays} are maintained
+    incrementally and work with retention off. *)
 
 type ('msg, 'inv, 'resp) event =
   | Invoke of { time : Rat.t; proc : int; inv : 'inv }
@@ -33,31 +54,75 @@ type ('inv, 'resp) operation = {
   resp_time : Rat.t;
 }
 
-val create : unit -> ('msg, 'inv, 'resp) t
+(** A user-attachable incremental observer; [on_event] is called once
+    per recorded event, in recording order. *)
+type ('msg, 'inv, 'resp) sink = {
+  name : string;
+  on_event : ('msg, 'inv, 'resp) event -> unit;
+}
+
+(** The first inadmissible message delay seen by the monitor. *)
+type violation = { at : Rat.t; src : int; dst : int; delay : Rat.t }
+
+val create :
+  ?retain_events:bool -> ?monitor:Model.t -> unit -> ('msg, 'inv, 'resp) t
+(** [retain_events] (default [true]) keeps the full event list so that
+    {!events} and {!message_delays} work; with [false] those two raise
+    and memory stays O(operations).  [monitor] arms the admissibility
+    monitor from the first event. *)
 
 val of_events : ('msg, 'inv, 'resp) event list -> ('msg, 'inv, 'resp) t
-(** Build a trace from a pre-computed event list (used by the shifting
-    machinery, which re-times events of an existing trace).  The list
-    is taken to already be in chronological order. *)
+(** Build a retaining trace from a pre-computed event list (used by the
+    shifting machinery, which re-times events of an existing trace).
+    The list is taken to already be in chronological order. *)
 
 val record : ('msg, 'inv, 'resp) t -> ('msg, 'inv, 'resp) event -> unit
+(** Feed one event to every sink.  Total: ill-formed histories (an
+    overlapping invocation, a response without an invocation) are
+    remembered and reported by the pairing accessors, not raised here. *)
+
+val add_sink : ('msg, 'inv, 'resp) t -> ('msg, 'inv, 'resp) sink -> unit
+(** Attach a user sink; it sees events recorded from now on. *)
+
+val on_operation :
+  ('msg, 'inv, 'resp) t -> (('inv, 'resp) operation -> unit) -> unit
+(** Attach an observer called once per completed operation, at the
+    moment its response is recorded. *)
+
+val retains_events : ('msg, 'inv, 'resp) t -> bool
 
 val events : ('msg, 'inv, 'resp) t -> ('msg, 'inv, 'resp) event list
-(** In chronological (recording) order. *)
+(** In chronological (recording) order.
+    @raise Invalid_argument if retention is disabled. *)
 
 val operations : ('msg, 'inv, 'resp) t -> ('inv, 'resp) operation list
 (** Matched invocation/response pairs, ordered by invocation time.
-    @raise Invalid_argument if a response has no pending invocation. *)
+    Computed by the online pairing sink — no trace re-scan.
+    @raise Invalid_argument if a response had no pending invocation or
+    an invocation overlapped a pending one. *)
 
 val pending_invocations : ('msg, 'inv, 'resp) t -> (int * 'inv) list
 (** Invocations that never received a response (non-empty only for
-    truncated runs). *)
+    truncated runs), sorted by process id. *)
 
 val message_delays : ('msg, 'inv, 'resp) t -> (int * int * Rat.t) list
-(** [(src, dst, delay)] for every message sent. *)
+(** [(src, dst, delay)] for every message sent.
+    @raise Invalid_argument if retention is disabled. *)
+
+val delay_bounds : ('msg, 'inv, 'resp) t -> (Rat.t * Rat.t) option
+(** [(min, max)] message delay over all sends; [None] if none. *)
 
 val delays_admissible : Model.t -> ('msg, 'inv, 'resp) t -> bool
-(** Were all message delays within [[d - u, d]]? *)
+(** Were all message delays within [[d - u, d]]?  O(1), answered from
+    the delay envelope; works with retention off. *)
+
+val monitor_admissibility : ('msg, 'inv, 'resp) t -> Model.t -> unit
+(** Arm (or re-arm) the admissibility monitor against [model].  Sends
+    recorded after this call are checked online; already-retained
+    sends are replayed so the answer is exact either way. *)
+
+val first_inadmissible : ('msg, 'inv, 'resp) t -> violation option
+(** The first delay the monitor saw outside the model's bounds. *)
 
 val event_time : ('msg, 'inv, 'resp) event -> Rat.t
 
@@ -65,6 +130,16 @@ val last_time : ('msg, 'inv, 'resp) t -> Rat.t
 (** Real time of the last recorded event; [Rat.zero] for an empty
     trace.  Mirrors the paper's [last-time] of a finite run. *)
 
+val event_count : ('msg, 'inv, 'resp) t -> int
+val send_count : ('msg, 'inv, 'resp) t -> int
+val deliver_count : ('msg, 'inv, 'resp) t -> int
+
 val operation_count : ('msg, 'inv, 'resp) t -> int
+(** Completed operations, from the pairing sink (O(1)).
+    @raise Invalid_argument on an ill-formed history. *)
+
+val pending_count : ('msg, 'inv, 'resp) t -> int
+(** Operations invoked but not yet responded (O(1)).
+    @raise Invalid_argument on an ill-formed history. *)
 
 val pp_summary : Format.formatter -> ('msg, 'inv, 'resp) t -> unit

@@ -84,6 +84,56 @@ let test_infix () =
     && rat 1 2 <> rat 1 3
     && ~-(rat 1 2) = rat (-1) 2)
 
+(* Overflow behaviour: arithmetic on adversarially large numerators and
+   denominators must raise Overflow instead of silently wrapping, gcd
+   pre-reduction must let representable results through, and comparison
+   must stay exact (continued-fraction fallback) where the cross
+   products would wrap. *)
+let test_overflow_raises () =
+  let big = 1 lsl 61 in
+  (* 2^61/3 + 2^61/5: common denominator 15, numerator 8 * 2^61 wraps. *)
+  Alcotest.check_raises "add overflows" Rat.Overflow (fun () ->
+      ignore (Rat.add (rat big 3) (rat big 5)));
+  Alcotest.check_raises "sub overflows" Rat.Overflow (fun () ->
+      ignore (Rat.sub (rat big 3) (rat (-big) 5)));
+  (* (2^61/3) * (5/7): numerator 5 * 2^61 wraps, no gcd to save it. *)
+  Alcotest.check_raises "mul overflows" Rat.Overflow (fun () ->
+      ignore (Rat.mul (rat big 3) (rat 5 7)));
+  Alcotest.check_raises "div overflows" Rat.Overflow (fun () ->
+      ignore (Rat.div (rat big 3) (rat 7 5)));
+  Alcotest.check_raises "mul_int overflows" Rat.Overflow (fun () ->
+      ignore (Rat.mul_int (rat big 3) 5));
+  Alcotest.check_raises "div_int overflows" Rat.Overflow (fun () ->
+      ignore (Rat.div_int (rat 3 big) 5))
+
+let test_overflow_reduction_saves () =
+  let big = 1 lsl 40 in
+  (* (2^40/3) * (3/2^40) = 1: raw cross products wrap, but gcd
+     pre-reduction cancels everything. *)
+  eq "reduction rescues mul" Rat.one (Rat.mul (rat big 3) (rat 3 big));
+  eq "reduction rescues div" Rat.one (Rat.div (rat big 3) (rat big 3));
+  (* x + (1 - x) over a huge common denominator: lcm = den, no wrap. *)
+  eq "shared denominator add" Rat.one
+    (Rat.add (rat 1 big) (rat (big - 1) big));
+  eq "mul_int cancels" (Rat.of_int 3) (Rat.mul_int (rat 3 big) big)
+
+let test_compare_near_overflow () =
+  let big = 1 lsl 61 in
+  (* (2^61+1)/2^61 > 2^61/(2^61-1) is FALSE: 1 + 1/2^61 vs
+     1 + 1/(2^61-1).  Cross products wrap; the fallback must get the
+     exact answer. *)
+  Alcotest.(check bool) "tight fractions ordered exactly" true
+    (Rat.lt (rat (big + 1) big) (rat big (big - 1)));
+  Alcotest.(check bool) "reflexive at scale" true
+    (Rat.equal (rat (big + 1) big) (rat (big + 1) big));
+  Alcotest.(check bool) "sign split" true
+    (Rat.lt (rat (-big - 1) big) (rat big (big - 1)));
+  Alcotest.(check bool) "negative pair ordered" true
+    (Rat.lt (rat (-big) (big - 1)) (rat (-big - 1) big));
+  (* min/max never raise even where arithmetic would. *)
+  eq "max at scale" (rat big (big - 1))
+    (Rat.max (rat (big + 1) big) (rat big (big - 1)))
+
 (* Property tests: rationals with small components form a totally
    ordered field (no overflow at these scales). *)
 let arb_rat =
@@ -160,6 +210,11 @@ let () =
           Alcotest.test_case "aggregates" `Quick test_aggregates;
           Alcotest.test_case "printing" `Quick test_printing;
           Alcotest.test_case "infix" `Quick test_infix;
+          Alcotest.test_case "overflow raises" `Quick test_overflow_raises;
+          Alcotest.test_case "gcd reduction avoids overflow" `Quick
+            test_overflow_reduction_saves;
+          Alcotest.test_case "comparison exact near overflow" `Quick
+            test_compare_near_overflow;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest properties);
     ]

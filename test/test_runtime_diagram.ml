@@ -74,6 +74,54 @@ let test_check_flag () =
     (report.linearization = None);
   Alcotest.(check bool) "delays still validated" true report.delays_admissible
 
+(* Regression: [ok] must reject a run with a pending invocation, even
+   when everything that did complete is linearizable and delays are
+   fine.  (It used to look only at admissibility and the
+   linearization.) *)
+let test_ok_rejects_pending () =
+  let trace : (unit, Spec.Register.invocation, Spec.Register.response) Sim.Trace.t
+      =
+    Sim.Trace.create ()
+  in
+  Sim.Trace.record trace
+    (Invoke { time = Rat.zero; proc = 0; inv = Spec.Register.Write 1 });
+  Sim.Trace.record trace
+    (Respond
+       {
+         time = rat 1 1;
+         proc = 0;
+         inv = Spec.Register.Write 1;
+         resp = Spec.Register.Ack;
+       });
+  Sim.Trace.record trace
+    (Invoke { time = rat 2 1; proc = 1; inv = Spec.Register.Read });
+  (* p1's read never responds. *)
+  let report =
+    R.report_of_trace ~model ~algorithm:"hand-built" ~check:true trace
+  in
+  Alcotest.(check int) "one completed op" 1 (List.length report.operations);
+  Alcotest.(check int) "one pending" 1 report.pending;
+  Alcotest.(check bool) "delays admissible" true report.delays_admissible;
+  Alcotest.(check bool) "linearization found" true
+    (Option.is_some report.linearization);
+  Alcotest.(check bool) "ok is false with a pending invocation" false
+    (R.ok report);
+  (* Sanity: a complete run is ok. *)
+  let good = run ~algorithm:R.Centralized ~workload:closed () in
+  Alcotest.(check int) "no pending" 0 good.pending;
+  Alcotest.(check bool) "complete run ok" true (R.ok good)
+
+let test_retention_off_report_identical () =
+  let retained = run ~algorithm:(R.Wtlw { x = rat 2 1 }) ~workload:closed () in
+  let streamed =
+    R.run ~retain_events:false ~model ~offsets
+      ~delay:(Sim.Net.random_model ~seed:3 model)
+      ~algorithm:(R.Wtlw { x = rat 2 1 })
+      ~workload:closed ()
+  in
+  Alcotest.(check bool) "reports identical" true (retained = streamed);
+  Alcotest.(check bool) "streamed run ok" true (R.ok streamed)
+
 let test_pp_report_mentions_everything () =
   let report = run ~algorithm:(R.Wtlw { x = rat 2 1 }) ~workload:closed () in
   let rendered = Format.asprintf "%a" R.pp_report report in
@@ -160,6 +208,10 @@ let () =
           Alcotest.test_case "report invariants" `Quick test_report_invariants;
           Alcotest.test_case "schedule workload" `Quick test_schedule_workload;
           Alcotest.test_case "check flag" `Quick test_check_flag;
+          Alcotest.test_case "ok rejects pending invocations" `Quick
+            test_ok_rejects_pending;
+          Alcotest.test_case "retention-off report identical" `Quick
+            test_retention_off_report_identical;
           Alcotest.test_case "pp report" `Quick
             test_pp_report_mentions_everything;
         ] );

@@ -5,8 +5,7 @@ let model = Sim.Model.make ~n:3 ~d:(rat 10 1) ~u:(rat 4 1) ~eps:(rat 2 1)
 
 type msg = M of int
 
-let sample_trace () =
-  let t : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
+let record_sample (t : (msg, string, int) Sim.Trace.t) =
   Sim.Trace.record t (Invoke { time = Rat.zero; proc = 0; inv = "write" });
   Sim.Trace.record t
     (Send { time = Rat.zero; src = 0; dst = 1; delay = rat 8 1; msg = M 1 });
@@ -16,7 +15,11 @@ let sample_trace () =
   Sim.Trace.record t (Respond { time = rat 3 1; proc = 1; inv = "read"; resp = 7 });
   Sim.Trace.record t (Timer_fire { time = rat 5 1; proc = 0; id = 0 });
   Sim.Trace.record t (Respond { time = rat 5 1; proc = 0; inv = "write"; resp = 0 });
-  Sim.Trace.record t (Deliver { time = rat 8 1; src = 0; dst = 1; msg = M 1 });
+  Sim.Trace.record t (Deliver { time = rat 8 1; src = 0; dst = 1; msg = M 1 })
+
+let sample_trace () =
+  let t : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
+  record_sample t;
   t
 
 let test_operations () =
@@ -79,6 +82,81 @@ let test_of_events_roundtrip () =
   Alcotest.(check int) "same op count" (Sim.Trace.operation_count t)
     (Sim.Trace.operation_count rebuilt)
 
+let test_counters () =
+  let t = sample_trace () in
+  Alcotest.(check int) "event count" 8 (Sim.Trace.event_count t);
+  Alcotest.(check int) "send count" 1 (Sim.Trace.send_count t);
+  Alcotest.(check int) "deliver count" 1 (Sim.Trace.deliver_count t);
+  Alcotest.(check int) "operation count" 2 (Sim.Trace.operation_count t);
+  Alcotest.(check int) "pending count" 0 (Sim.Trace.pending_count t);
+  Alcotest.(check int) "counts match retained list" 8
+    (List.length (Sim.Trace.events t))
+
+let test_retention_off () =
+  let t : (msg, string, int) Sim.Trace.t =
+    Sim.Trace.create ~retain_events:false ()
+  in
+  record_sample t;
+  Alcotest.(check bool) "retains_events false" false
+    (Sim.Trace.retains_events t);
+  Alcotest.check_raises "events raises"
+    (Invalid_argument "Trace.events: event retention is disabled") (fun () ->
+      ignore (Sim.Trace.events t));
+  (* Everything built by the streaming sinks still works. *)
+  Alcotest.(check int) "event count" 8 (Sim.Trace.event_count t);
+  Alcotest.(check int) "send count" 1 (Sim.Trace.send_count t);
+  Alcotest.(check int) "operation count" 2 (Sim.Trace.operation_count t);
+  Alcotest.(check bool) "delays admissible (envelope)" true
+    (Sim.Trace.delays_admissible model t);
+  let retained_ops = Sim.Trace.operations (sample_trace ()) in
+  Alcotest.(check bool) "operations identical to retained run" true
+    (Sim.Trace.operations t = retained_ops);
+  Alcotest.(check string) "last_time still tracked" "8"
+    (Rat.to_string (Sim.Trace.last_time t))
+
+let test_custom_sink () =
+  let t : (msg, string, int) Sim.Trace.t =
+    Sim.Trace.create ~retain_events:false ()
+  in
+  let seen = ref [] in
+  Sim.Trace.add_sink t
+    { name = "collector"; on_event = (fun e -> seen := e :: !seen) };
+  record_sample t;
+  Alcotest.(check int) "sink saw every event" 8 (List.length !seen);
+  (match List.rev !seen with
+  | Sim.Trace.Invoke { proc = 0; inv = "write"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "sink events out of order");
+  let ops = ref [] in
+  let t2 : (msg, string, int) Sim.Trace.t =
+    Sim.Trace.create ~retain_events:false ()
+  in
+  Sim.Trace.on_operation t2 (fun op -> ops := op :: !ops);
+  record_sample t2;
+  Alcotest.(check int) "operation observer fired twice" 2 (List.length !ops);
+  (* Observers fire at response time: "read" (t=3) before "write" (t=5). *)
+  match List.rev !ops with
+  | [ first; second ] ->
+      Alcotest.(check string) "first completion" "read" first.Sim.Trace.inv;
+      Alcotest.(check string) "second completion" "write" second.Sim.Trace.inv
+  | _ -> Alcotest.fail "expected exactly two completions"
+
+let test_monitor () =
+  let t : (msg, string, int) Sim.Trace.t =
+    Sim.Trace.create ~retain_events:false ~monitor:model ()
+  in
+  record_sample t;
+  Alcotest.(check bool) "no violation on admissible run" true
+    (Sim.Trace.first_inadmissible t = None);
+  Sim.Trace.record t
+    (Send { time = rat 9 1; src = 2; dst = 0; delay = rat 11 1; msg = M 9 });
+  (match Sim.Trace.first_inadmissible t with
+  | Some v ->
+      Alcotest.(check string) "violating delay" "11" (Rat.to_string v.delay);
+      Alcotest.(check int) "violating src" 2 v.src
+  | None -> Alcotest.fail "monitor missed the inadmissible delay");
+  Alcotest.(check bool) "envelope check agrees" false
+    (Sim.Trace.delays_admissible model t)
+
 let () =
   Alcotest.run "trace"
     [
@@ -92,5 +170,10 @@ let () =
           Alcotest.test_case "last_time" `Quick test_last_time;
           Alcotest.test_case "of_events roundtrip" `Quick
             test_of_events_roundtrip;
+          Alcotest.test_case "streaming counters" `Quick test_counters;
+          Alcotest.test_case "retention off" `Quick test_retention_off;
+          Alcotest.test_case "custom sinks and observers" `Quick
+            test_custom_sink;
+          Alcotest.test_case "admissibility monitor" `Quick test_monitor;
         ] );
     ]
