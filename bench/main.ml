@@ -15,6 +15,8 @@
    - Figure 11: the operation-class containment table, discovered by
      the classification search over every bundled data type.
    - Lemma 4: measured per-class latencies against the formulas.
+   - Robustness: the fault-injection matrix, each nemesis case raw and
+     over the reliable channel.
    - Bechamel microbenchmarks: one per table (wall-clock cost of
      regenerating each table's measured workload), plus the three
      algorithms on a fixed workload. *)
@@ -627,6 +629,19 @@ let smoke_section () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: the fault-injection matrix (nemesis x recovery).        *)
+
+let robustness_section () =
+  section "Robustness: fault-injection matrix, raw vs reliable channel";
+  Format.printf
+    "each case twice: raw (the damage must be flagged) and over the@.";
+  Format.printf
+    "ack/retransmit channel against d' = d + k*rto (must linearize)@.@.";
+  let module Rob = Core.Robustness.Make (Spec.Fifo_queue) in
+  let cells = Rob.matrix ~model ~x ~seed:1 () in
+  Format.printf "%a@." Core.Robustness.pp_matrix cells
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one per table.                            *)
 
 let bechamel_section () =
@@ -723,5 +738,6 @@ let () =
   if want "sweeps" then sweep_section ();
   if want "streaming" then streaming_section ();
   if want "ablations" then ablation_section ();
+  if want "robustness" then robustness_section ();
   if want "bechamel" then bechamel_section ();
   Format.printf "@.bench done (%s)@." what

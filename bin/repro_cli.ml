@@ -5,6 +5,7 @@
      repro classify    — print the discovered operation classes (Fig. 11)
      repro claims      — machine-check the proofs' arithmetic claims
      repro ablate      — run the timing-ablation harness
+     repro faults      — run the fault-injection robustness matrix
      repro finding     — demonstrate the accessor-wait counterexample
 
    All durations are exact rationals, written as "3", "7/2", ... *)
@@ -68,20 +69,21 @@ let ops_arg =
     value & opt int 10
     & info [ "ops" ] ~docv:"K" ~doc:"Operations per process (closed loop).")
 
+let all_types =
+  [
+    ("register", `Register);
+    ("rmw-register", `Rmw);
+    ("queue", `Queue);
+    ("stack", `Stack);
+    ("tree", `Tree);
+    ("set", `Set);
+    ("counter", `Counter);
+    ("priority-queue", `Pqueue);
+    ("log", `Log);
+  ]
+
 let type_arg =
-  let all =
-    [
-      ("register", `Register);
-      ("rmw-register", `Rmw);
-      ("queue", `Queue);
-      ("stack", `Stack);
-      ("tree", `Tree);
-      ("set", `Set);
-      ("counter", `Counter);
-      ("priority-queue", `Pqueue);
-      ("log", `Log);
-    ]
-  in
+  let all = all_types in
   Arg.(
     value
     & opt (enum all) `Queue
@@ -162,8 +164,15 @@ let simulate (type s i r) n d u eps x algo seed ops no_retain
   Format.printf "model: %a, X = %a, data type: %s@.@." Sim.Model.pp model
     Rat.pp x T.name;
   Format.printf "%a@." R.pp_report report;
-  if Option.is_none report.linearization then `Error (false, "run was not linearizable")
-  else `Ok ()
+  (* Exit nonzero on any failed verification — truncation, pending
+     operations, inadmissible delays or skew, or no linearization — so
+     CI can gate on simulation outcomes. *)
+  if R.ok report then `Ok ()
+  else
+    `Error
+      ( false,
+        "run failed verification (pending operations, truncation, \
+         inadmissible delays/skew, or no linearization)" )
 
 let simulate_cmd =
   let run n d u eps x algo seed ops no_retain dtype =
@@ -391,6 +400,74 @@ let sync_cmd =
          "Run one Lundelius-Lynch clock synchronization round and report           the achieved skew against the optimal bound (1-1/n)u.")
     Term.(ret (const run $ n_arg $ d_arg $ u_arg $ seed_arg $ spread_arg))
 
+(* ---------------- faults ---------------- *)
+
+let faults_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the full matrix (every cell, both legs) as JSON on stdout.")
+  in
+  let faults_type_arg =
+    Arg.(
+      value
+      & opt (some (enum all_types)) None
+      & info [ "type"; "t" ] ~docv:"TYPE"
+          ~doc:
+            "Run the matrix for a single data type (default: queue and \
+             register).")
+  in
+  let run n d u eps x seed json dtype =
+    let model = make_model n d u eps in
+    let x = make_x model x in
+    let matrix_of (type s i r)
+        (module T : Spec.Data_type.S
+          with type state = s
+           and type invocation = i
+           and type response = r) =
+      let module M = Core.Robustness.Make (T) in
+      M.matrix ~model ~x ~seed ()
+    in
+    let run_target = function
+      | `Register -> matrix_of (module Spec.Register)
+      | `Rmw -> matrix_of (module Spec.Rmw_register)
+      | `Queue -> matrix_of (module Spec.Fifo_queue)
+      | `Stack -> matrix_of (module Spec.Stack_type)
+      | `Tree -> matrix_of (module Spec.Tree_type)
+      | `Set -> matrix_of (module Spec.Set_type)
+      | `Counter -> matrix_of (module Spec.Counter_type)
+      | `Pqueue -> matrix_of (module Spec.Priority_queue)
+      | `Log -> matrix_of (module Spec.Log_type)
+    in
+    let targets =
+      match dtype with Some t -> [ t ] | None -> [ `Queue; `Register ]
+    in
+    let cells = List.concat_map run_target targets in
+    if json then Format.printf "%a@." Core.Robustness.pp_json cells
+    else begin
+      Format.printf "model: %a, X = %a@.@." Sim.Model.pp model Rat.pp x;
+      Format.printf "%a@." Core.Robustness.pp_matrix cells
+    end;
+    (* Nonzero exit unless every cell certified, so CI can gate on it. *)
+    if Core.Robustness.all_certified cells then `Ok ()
+    else `Error (false, "robustness matrix has uncertified cells")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run the fault-injection robustness matrix: for each data type and \
+          nemesis plan (drops, duplication, delay spikes, crash-stop, clock \
+          skew), run the algorithm raw (expect the checker or admissibility \
+          monitor to flag the damage) and over the ack/retransmit reliable \
+          channel against the inflated model d' = d + k*rto (expect a \
+          machine-checked linearizable run).  Exits nonzero unless every \
+          cell is certified.")
+    Term.(
+      ret
+        (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ seed_arg
+       $ json_arg $ faults_type_arg))
+
 (* ---------------- finding ---------------- *)
 
 let finding_cmd =
@@ -439,6 +516,7 @@ let main =
       classify_cmd;
       claims_cmd;
       ablate_cmd;
+      faults_cmd;
       sync_cmd;
       finding_cmd;
     ]

@@ -80,6 +80,9 @@ let event_owner : ('msg, 'inv, 'resp) Sim.Trace.event -> int = function
   | Timer_cancel { proc; _ } -> proc
   | Send { src; _ } -> src
   | Deliver { dst; _ } -> dst
+  | Fault { fault = Dropped { src; _ } | Duplicated { src; _ } | Spiked { src; _ }; _ }
+    -> src
+  | Fault { fault = Crashed { proc; _ } | Skewed { proc; _ }; _ } -> proc
 
 let retime_event x (event : ('msg, 'inv, 'resp) Sim.Trace.event) :
     ('msg, 'inv, 'resp) Sim.Trace.event =
@@ -107,6 +110,7 @@ let retime_event x (event : ('msg, 'inv, 'resp) Sim.Trace.event) :
           delay = shifted_delay ~delay:e.delay ~x_src:x.(e.src) ~x_dst:x.(e.dst);
         }
   | Deliver e -> Deliver { e with time = shift_by e.dst e.time }
+  | Fault e -> Fault { e with time = shift_by (event_owner event) e.time }
 
 (* shift(R, x) on a recorded trace: re-time every event by its owner's
    shift amount and re-sort chronologically.  Each process's view (its

@@ -16,17 +16,19 @@ module Make (T : Spec.Data_type.S) = struct
 
   type engine = (msg, tag, T.invocation, T.response) Sim.Engine.t
 
-  type t = { engine : engine; mutable master : T.state }
+  (* The single authoritative copy held at the coordinator. *)
+  type hub = { mutable master : T.state }
+
+  type t = { engine : engine; hub : hub }
 
   let coordinator = 0
 
-  let create ?retain_events ~(model : Sim.Model.t) ~offsets ~delay () =
-    let cluster = ref None in
-    let get () = Option.get !cluster in
+  let fresh_hub () = { master = T.initial }
+
+  let protocol hub =
     let apply_master inv =
-      let t = get () in
-      let state', resp = T.apply t.master inv in
-      t.master <- state';
+      let state', resp = T.apply hub.master inv in
+      hub.master <- state';
       resp
     in
     let on_invoke (ctx : (msg, tag, T.response) Sim.Engine.ctx) inv =
@@ -41,12 +43,16 @@ module Make (T : Spec.Data_type.S) = struct
       | Reply { resp } -> ctx.respond resp
     in
     let on_timer _ctx (() : tag) = assert false (* no timers are set *) in
+    { Sim.Engine.on_invoke; on_receive; on_timer }
+
+  let create ?retain_events ?faults ~(model : Sim.Model.t) ~offsets ~delay ()
+      =
+    let hub = fresh_hub () in
     let engine =
-      Sim.Engine.create ?retain_events ~model ~offsets ~delay
-        ~handlers:{ on_invoke; on_receive; on_timer }
-        ()
+      Sim.Engine.create ?retain_events ?faults ~model ~offsets ~delay
+        ~handlers:(protocol hub) ()
     in
-    let t = { engine; master = T.initial } in
-    cluster := Some t;
-    t
+    { engine; hub }
+
+  let master t = t.hub.master
 end

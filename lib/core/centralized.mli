@@ -9,18 +9,33 @@
 module Make (T : Spec.Data_type.S) : sig
   type msg
   type tag
+
+  type hub
+  (** The single authoritative copy held at the coordinator. *)
+
   type engine = (msg, tag, T.invocation, T.response) Sim.Engine.t
 
-  type t = { engine : engine; mutable master : T.state }
+  type t = { engine : engine; hub : hub }
 
   val coordinator : int
   (** Process id of the distinguished process (0). *)
 
+  val fresh_hub : unit -> hub
+
+  val protocol : hub -> (msg, tag, T.invocation, T.response) Sim.Engine.handlers
+  (** The algorithm's handler triple over [hub], decoupled from engine
+      construction so it can also run wrapped by the reliable channel
+      ([Core.Reliable]) over a lossy network. *)
+
   val create :
     ?retain_events:bool ->
+    ?faults:Sim.Fault.plan ->
     model:Sim.Model.t ->
     offsets:Rat.t array ->
     delay:Sim.Net.t ->
     unit ->
     t
+
+  val master : t -> T.state
+  (** Read-only view of the authoritative copy. *)
 end

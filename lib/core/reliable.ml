@@ -1,0 +1,151 @@
+type config = { rto : Rat.t; backoff : int; max_retries : int }
+
+let config ?(backoff = 1) ?(max_retries = 6) ~rto () =
+  if Rat.sign rto <= 0 then invalid_arg "Reliable.config: rto must be positive";
+  if backoff < 1 then invalid_arg "Reliable.config: backoff must be >= 1";
+  if max_retries < 0 then
+    invalid_arg "Reliable.config: max_retries must be >= 0";
+  { rto; backoff; max_retries }
+
+let default_config (model : Sim.Model.t) =
+  config ~rto:(Rat.mul_int model.d 2) ()
+
+(* sum_(i=1..k) rto * backoff^(i-1): the real time between the first
+   and the last transmission of a payload. *)
+let retry_budget c =
+  let budget = ref Rat.zero and step = ref c.rto in
+  for _ = 1 to c.max_retries do
+    budget := Rat.add !budget !step;
+    step := Rat.mul_int !step c.backoff
+  done;
+  !budget
+
+let effective_delay c ~d = Rat.add d (retry_budget c)
+
+let inflated_model ?(extra_skew = Rat.zero) ?(max_spike = Rat.zero) c
+    (model : Sim.Model.t) =
+  let d' = Rat.max (effective_delay c ~d:model.d) (Rat.add model.d max_spike) in
+  Sim.Model.make ~n:model.n ~d:d' ~u:d' ~eps:(Rat.add model.eps extra_skew)
+
+type 'msg wire = Payload of { seq : int; msg : 'msg } | Ack of { seq : int }
+
+type 'tag timer = App of 'tag | Retransmit of { dst : int; seq : int; attempt : int }
+
+type stats = {
+  mutable sent : int;
+  mutable retransmits : int;
+  mutable acked : int;
+  mutable duplicates : int;
+  mutable exhausted : int;
+}
+
+type 'msg entry = { msg : 'msg; mutable timer : int }
+
+let wrap ~config:c ~n (app : ('msg, 'tag, 'inv, 'resp) Sim.Engine.handlers) =
+  let stats =
+    { sent = 0; retransmits = 0; acked = 0; duplicates = 0; exhausted = 0 }
+  in
+  (* Sender side, per (self, dst) stream. *)
+  let next_seq = Array.make_matrix n n 0 in
+  let unacked : (int * int * int, 'msg entry) Hashtbl.t = Hashtbl.create 64 in
+  (* Receiver side, per (self, src) stream: next sequence number to
+     release to the application, plus the out-of-order hold-back
+     buffer. *)
+  let expected = Array.make_matrix n n 0 in
+  let buffer : (int * int * int, 'msg) Hashtbl.t = Hashtbl.create 64 in
+  let reliable_send (ctx : ('msg wire, 'tag timer, 'resp) Sim.Engine.ctx) ~dst
+      msg =
+    let src = ctx.self in
+    let seq = next_seq.(src).(dst) in
+    next_seq.(src).(dst) <- seq + 1;
+    stats.sent <- stats.sent + 1;
+    ctx.send ~dst (Payload { seq; msg });
+    let timer =
+      ctx.set_timer_after c.rto (Retransmit { dst; seq; attempt = 1 })
+    in
+    Hashtbl.replace unacked (src, dst, seq) { msg; timer }
+  in
+  (* Rebuild an application-typed ctx over the wire-typed one: the
+     algorithm's handlers never see the envelope. *)
+  let app_ctx (ctx : ('msg wire, 'tag timer, 'resp) Sim.Engine.ctx) :
+      ('msg, 'tag, 'resp) Sim.Engine.ctx =
+    let send ~dst msg = reliable_send ctx ~dst msg in
+    {
+      self = ctx.self;
+      n = ctx.n;
+      real_time = ctx.real_time;
+      local_time = ctx.local_time;
+      send;
+      broadcast =
+        (fun msg ->
+          for dst = 0 to ctx.n - 1 do
+            if dst <> ctx.self then send ~dst msg
+          done);
+      set_timer_after = (fun dur tag -> ctx.set_timer_after dur (App tag));
+      cancel_timer = ctx.cancel_timer;
+      respond = ctx.respond;
+    }
+  in
+  let on_invoke ctx inv = app.on_invoke (app_ctx ctx) inv in
+  let on_receive (ctx : ('msg wire, 'tag timer, 'resp) Sim.Engine.ctx) ~src
+      wire_msg =
+    let self = ctx.self in
+    match wire_msg with
+    | Payload { seq; msg } ->
+        (* Always ack — the sender may be retransmitting because the
+           previous ack was lost.  Acks travel over the same faulty
+           network and may themselves be dropped or duplicated. *)
+        ctx.send ~dst:src (Ack { seq });
+        if seq < expected.(self).(src) || Hashtbl.mem buffer (self, src, seq)
+        then stats.duplicates <- stats.duplicates + 1
+        else begin
+          Hashtbl.replace buffer (self, src, seq) msg;
+          (* Release the in-order prefix to the application. *)
+          let rec drain () =
+            let e = expected.(self).(src) in
+            match Hashtbl.find_opt buffer (self, src, e) with
+            | Some m ->
+                Hashtbl.remove buffer (self, src, e);
+                expected.(self).(src) <- e + 1;
+                app.on_receive (app_ctx ctx) ~src m;
+                drain ()
+            | None -> ()
+          in
+          drain ()
+        end
+    | Ack { seq } -> (
+        match Hashtbl.find_opt unacked (self, src, seq) with
+        | Some { timer; _ } ->
+            ctx.cancel_timer timer;
+            Hashtbl.remove unacked (self, src, seq);
+            stats.acked <- stats.acked + 1
+        | None -> () (* duplicate or late ack *))
+  in
+  let on_timer (ctx : ('msg wire, 'tag timer, 'resp) Sim.Engine.ctx) tag =
+    match tag with
+    | App tag -> app.on_timer (app_ctx ctx) tag
+    | Retransmit { dst; seq; attempt } -> (
+        let self = ctx.self in
+        match Hashtbl.find_opt unacked (self, dst, seq) with
+        | None -> () (* acked in the meantime *)
+        | Some entry ->
+            if attempt > c.max_retries then begin
+              stats.exhausted <- stats.exhausted + 1;
+              Hashtbl.remove unacked (self, dst, seq)
+            end
+            else begin
+              stats.retransmits <- stats.retransmits + 1;
+              ctx.send ~dst (Payload { seq; msg = entry.msg });
+              (* Timeout for retry [i] is rto * backoff^(i-1); retry
+                 [max_retries] therefore departs retry_budget after the
+                 original send. *)
+              let dur = ref c.rto in
+              for _ = 1 to attempt do
+                dur := Rat.mul_int !dur c.backoff
+              done;
+              entry.timer <-
+                ctx.set_timer_after !dur
+                  (Retransmit { dst; seq; attempt = attempt + 1 })
+            end)
+  in
+  ({ Sim.Engine.on_invoke; on_receive; on_timer }, stats)

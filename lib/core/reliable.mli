@@ -1,0 +1,84 @@
+(** Reliable FIFO channels over a lossy network, by ack + retransmit.
+
+    The paper's model (§2.2) assumes channels that deliver every
+    message exactly once; the fault injector ([Sim.Fault]) breaks that
+    with drops, duplicates and delay spikes.  This layer restores the
+    assumption end-to-end: every application message is wrapped in a
+    {!wire} envelope carrying a per-(sender, destination) sequence
+    number, the receiver acknowledges and deduplicates, in-order
+    delivery is enforced by a hold-back buffer, and unacknowledged
+    payloads are retransmitted after [rto] (scaled by [backoff] each
+    attempt) up to [max_retries] times.
+
+    {b Effective delay bound.}  If any of the [1 + max_retries]
+    transmissions of a payload survives, the last one departs at most
+    {!retry_budget} [= sum_(i=1..k) rto * backoff^(i-1)] after the
+    original send and arrives at most [d] later, so the application
+    sees a channel with delays in [[0, d']] where
+    [d' = d + retry_budget] ({!effective_delay}) — with the default
+    [backoff = 1] this is exactly [d' = d + k * rto].  Re-running an
+    algorithm unmodified over the wrapped handlers against
+    [Model.make ~d:d' ~u:d'] ({!inflated_model}) therefore restores
+    the hypotheses of its linearizability proof, and the checker can
+    certify the recovery machine-checked ([Core.Robustness]). *)
+
+type config = {
+  rto : Rat.t;  (** retransmission timeout before the first retry *)
+  backoff : int;  (** timeout multiplier per retry (>= 1; 1 = constant) *)
+  max_retries : int;  (** retransmissions per payload ([k]; >= 0) *)
+}
+
+val config : ?backoff:int -> ?max_retries:int -> rto:Rat.t -> unit -> config
+(** @raise Invalid_argument if [rto <= 0], [backoff < 1] or
+    [max_retries < 0]. *)
+
+val default_config : Sim.Model.t -> config
+(** [rto = 2d] (a full request/ack round trip), [backoff = 1],
+    [max_retries = 6]. *)
+
+val retry_budget : config -> Rat.t
+(** [sum_(i=1..max_retries) rto * backoff^(i-1)]: real time between the
+    first and the last transmission of a payload. *)
+
+val effective_delay : config -> d:Rat.t -> Rat.t
+(** [d + retry_budget config]: the worst-case application-level delay
+    when at least one transmission survives. *)
+
+val inflated_model :
+  ?extra_skew:Rat.t -> ?max_spike:Rat.t -> config -> Sim.Model.t -> Sim.Model.t
+(** The model the recovered system actually implements:
+    [d' = max (effective_delay) (d + max_spike)], [u' = d'] (the layer
+    guarantees no minimum delay), [eps' = eps + extra_skew].
+    [max_spike] accounts for injected above-envelope delay spikes
+    ({!Sim.Fault.max_spike}); [extra_skew] for injected clock
+    perturbations ({!Sim.Fault.extra_skew}).  Both default to [0]. *)
+
+(** The wire envelope around application messages. *)
+type 'msg wire =
+  | Payload of { seq : int; msg : 'msg }
+  | Ack of { seq : int }
+
+type 'tag timer
+(** Wire-level timer tags: either the application's own timers or the
+    layer's retransmission timers. *)
+
+(** Per-run channel counters (all monotone). *)
+type stats = {
+  mutable sent : int;  (** application-level sends *)
+  mutable retransmits : int;  (** extra transmissions triggered by timeout *)
+  mutable acked : int;  (** payloads confirmed by a first ack *)
+  mutable duplicates : int;  (** received payload copies suppressed by dedup *)
+  mutable exhausted : int;  (** payloads abandoned after [max_retries] *)
+}
+
+val wrap :
+  config:config ->
+  n:int ->
+  ('msg, 'tag, 'inv, 'resp) Sim.Engine.handlers ->
+  ('msg wire, 'tag timer, 'inv, 'resp) Sim.Engine.handlers * stats
+(** [wrap ~config ~n handlers] interposes the reliable channel under an
+    algorithm's handler triple (as produced by [Wtlw.Make.protocol]
+    etc.): the algorithm runs unmodified, every [ctx.send]/[broadcast]
+    it performs is wrapped in a {!Payload}, and its handlers see only
+    deduplicated, per-edge-FIFO application messages.  The returned
+    stats are live — read them after the run. *)

@@ -21,6 +21,16 @@ module Make (T : Spec.Data_type.S) = struct
     | Schedule of T.invocation Workload.entry list
     | Closed_loop of { per_proc : int; think : Rat.t; seed : int }
 
+  (* Description of the reliable channel a run was layered over, when
+     it was ([run_reliable]): the retransmission config, the inflated
+     model the report was checked against, and the live channel
+     counters. *)
+  type channel = {
+    config : Reliable.config;
+    effective : Sim.Model.t;
+    stats : Reliable.stats;
+  }
+
   type report = {
     algorithm : string;
     operations : (T.invocation, T.response) Sim.Trace.operation list;
@@ -31,12 +41,16 @@ module Make (T : Spec.Data_type.S) = struct
     events : int;
     pending : int;
     delays_admissible : bool;
+    skew_admissible : bool;
+    faults : Sim.Trace.fault_counts;
+    truncated : bool;
+    channel : channel option;
   }
 
   let kind_of inv = Sem.kind_of inv
 
   (* Drive one engine (of any algorithm) through the workload. *)
-  let drive (type m g) ~(model : Sim.Model.t)
+  let drive (type m g) ?max_events ~(model : Sim.Model.t)
       (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
     (match workload with
     | Schedule entries ->
@@ -60,13 +74,14 @@ module Make (T : Spec.Data_type.S) = struct
             ~at:(Rat.make proc (2 * model.n))
             ~proc (T.gen_invocation rng)
         done);
-    Sim.Engine.run engine
+    Sim.Engine.run ?max_events engine
 
   (* Assemble a report from the trace's incremental sink snapshots:
      counters, pairing and admissibility are O(1) lookups, so the only
      remaining pass is over completed operations (for the checker),
      never over raw events. *)
-  let report_of_trace ~model ~algorithm ~check trace =
+  let report_of_trace ?(skew_admissible = true) ~model ~algorithm ~check trace
+      =
     let operations = Sim.Trace.operations trace in
     {
       algorithm;
@@ -78,13 +93,21 @@ module Make (T : Spec.Data_type.S) = struct
       events = Sim.Trace.event_count trace;
       pending = Sim.Trace.pending_count trace;
       delays_admissible = Sim.Trace.delays_admissible model trace;
+      skew_admissible;
+      faults = Sim.Trace.fault_counts trace;
+      truncated = false;
+      channel = None;
     }
 
   (* Streaming variant used by [run]: latency summaries accumulate in
      [Metrics.Grouped] sinks as responses are recorded, so the report
-     needs no per-operation metric pass afterwards. *)
-  let report_of_run (type m g) ~(model : Sim.Model.t) ~algorithm ~check
-      (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
+     needs no per-operation metric pass afterwards.  A run that hits
+     the step limit is not lost: the sinks hold everything up to the
+     truncation point, so the report is returned with
+     [truncated = true] (and typically [pending > 0]). *)
+  let report_of_run (type m g) ?max_events ?channel ~(model : Sim.Model.t)
+      ~algorithm ~check (engine : (m, g, T.invocation, T.response) Sim.Engine.t)
+      workload =
     let trace = Sim.Engine.trace engine in
     let by_op_acc = Metrics.Grouped.create () in
     let by_kind_acc = Metrics.Grouped.create () in
@@ -92,7 +115,11 @@ module Make (T : Spec.Data_type.S) = struct
         let l = Metrics.latency op in
         Metrics.Grouped.add by_op_acc (T.op_of op.inv) l;
         Metrics.Grouped.add by_kind_acc (kind_of op.inv) l);
-    drive ~model engine workload;
+    let truncated =
+      match drive ?max_events ~model engine workload with
+      | () -> false
+      | exception Sim.Engine.Step_limit_exceeded _ -> true
+    in
     let operations = Sim.Trace.operations trace in
     {
       algorithm;
@@ -104,33 +131,101 @@ module Make (T : Spec.Data_type.S) = struct
       events = Sim.Trace.event_count trace;
       pending = Sim.Trace.pending_count trace;
       delays_admissible = Sim.Trace.delays_admissible model trace;
+      skew_admissible =
+        Sim.Model.skew_valid model (Sim.Engine.effective_offsets engine);
+      faults = Sim.Trace.fault_counts trace;
+      truncated;
+      channel;
     }
 
-  let run ?(check = true) ?retain_events ~(model : Sim.Model.t) ~offsets
-      ~delay ~algorithm ~workload () =
+  let run ?(check = true) ?retain_events ?faults ?max_events
+      ~(model : Sim.Model.t) ~offsets ~delay ~algorithm ~workload () =
     let name = algorithm_name algorithm in
     match algorithm with
     | Wtlw { x } ->
         let cluster =
-          Wtlw_impl.create ?retain_events ~model ~x ~offsets ~delay ()
+          Wtlw_impl.create ?retain_events ?faults ~model ~x ~offsets ~delay ()
         in
-        report_of_run ~model ~algorithm:name ~check cluster.engine workload
+        report_of_run ?max_events ~model ~algorithm:name ~check cluster.engine
+          workload
     | Centralized ->
         let cluster =
-          Centralized_impl.create ?retain_events ~model ~offsets ~delay ()
+          Centralized_impl.create ?retain_events ?faults ~model ~offsets
+            ~delay ()
         in
-        report_of_run ~model ~algorithm:name ~check cluster.engine workload
+        report_of_run ?max_events ~model ~algorithm:name ~check cluster.engine
+          workload
     | Tob ->
         let cluster =
-          Tob_impl.create ?retain_events ~model ~offsets ~delay ()
+          Tob_impl.create ?retain_events ?faults ~model ~offsets ~delay ()
         in
-        report_of_run ~model ~algorithm:name ~check cluster.engine workload
+        report_of_run ?max_events ~model ~algorithm:name ~check cluster.engine
+          workload
 
-  (* A run is accepted when every operation completed, all delays were
-     admissible, and a linearization was found. *)
+  (* Run an algorithm unmodified over the reliable channel
+     ([Reliable.wrap]) on a faulty network, and judge the result
+     against the inflated model [d' = d + retry budget] the channel
+     implements.  The report's admissibility/skew verdicts, the
+     algorithm's internal timing, and the checker all use that inflated
+     model — this is the "recovered" leg of the robustness matrix. *)
+  let run_reliable ?(check = true) ?retain_events ?(faults = Sim.Fault.none)
+      ?max_events ?config ~(model : Sim.Model.t) ~offsets ~delay ~algorithm
+      ~workload () =
+    let config =
+      match config with Some c -> c | None -> Reliable.default_config model
+    in
+    let effective =
+      Reliable.inflated_model ~extra_skew:(Sim.Fault.extra_skew faults)
+        ~max_spike:(Sim.Fault.max_spike faults) config model
+    in
+    let name = algorithm_name algorithm ^ "+reliable" in
+    let finish (type m g)
+        (engine : (m, g, T.invocation, T.response) Sim.Engine.t) stats =
+      report_of_run ?max_events
+        ~channel:{ config; effective; stats }
+        ~model:effective ~algorithm:name ~check engine workload
+    in
+    let create_engine handlers =
+      Sim.Engine.create ?retain_events ~faults ~model:effective ~offsets
+        ~delay ~handlers ()
+    in
+    match algorithm with
+    | Wtlw { x } ->
+        if
+          not
+            (Rat.in_range ~lo:Rat.zero
+               ~hi:(Rat.sub effective.d effective.eps)
+               x)
+        then invalid_arg "Runtime.run_reliable: X outside [0, d' - eps']";
+        let states = Wtlw_impl.fresh_states ~n:effective.n in
+        let timing = Wtlw.default_timing effective ~x in
+        let handlers, stats =
+          Reliable.wrap ~config ~n:effective.n
+            (Wtlw_impl.protocol ~timing states)
+        in
+        finish (create_engine handlers) stats
+    | Centralized ->
+        let handlers, stats =
+          Reliable.wrap ~config ~n:effective.n
+            (Centralized_impl.protocol (Centralized_impl.fresh_hub ()))
+        in
+        finish (create_engine handlers) stats
+    | Tob ->
+        let states = Tob_impl.fresh_states ~n:effective.n in
+        let handlers, stats =
+          Reliable.wrap ~config ~n:effective.n
+            (Tob_impl.protocol ~model:effective states)
+        in
+        finish (create_engine handlers) stats
+
+  (* A run is accepted when every operation completed, the run was not
+     truncated, delays and clock skew were admissible, and a
+     linearization was found. *)
   let ok report =
     report.pending = 0
+    && (not report.truncated)
     && report.delays_admissible
+    && report.skew_admissible
     && Option.is_some report.linearization
 
   let pp_report ppf r =
@@ -141,6 +236,21 @@ module Make (T : Spec.Data_type.S) = struct
     Format.fprintf ppf "linearizable: %b; delays admissible: %b; pending: %d@,"
       (Option.is_some r.linearization)
       r.delays_admissible r.pending;
+    if not r.skew_admissible then Format.fprintf ppf "skew: inadmissible@,";
+    if r.truncated then Format.fprintf ppf "TRUNCATED (step limit)@,";
+    if Sim.Trace.total_faults r.faults > 0 then
+      Format.fprintf ppf
+        "faults: %d dropped, %d duplicated, %d spiked, %d crashed, %d skewed@,"
+        r.faults.dropped r.faults.duplicated r.faults.spiked r.faults.crashed
+        r.faults.skewed;
+    (match r.channel with
+    | None -> ()
+    | Some { config; effective; stats } ->
+        Format.fprintf ppf
+          "channel: rto=%a retries=%d d'=%a; %d sent, %d retransmits, %d \
+           acked, %d dups suppressed, %d exhausted@,"
+          Rat.pp config.rto config.max_retries Rat.pp effective.d stats.sent
+          stats.retransmits stats.acked stats.duplicates stats.exhausted);
     List.iter
       (fun (op, s) ->
         Format.fprintf ppf "  %-16s %a@," op Metrics.pp_summary s)

@@ -22,6 +22,15 @@ module Make (T : Spec.Data_type.S) : sig
         (** each process performs [per_proc] random operations, each
             invoked [think] after the previous response *)
 
+  (** Description of the reliable channel a run was layered over
+      ({!run_reliable}): its retransmission config, the inflated model
+      the report was judged against, and the channel counters. *)
+  type channel = {
+    config : Reliable.config;
+    effective : Sim.Model.t;
+    stats : Reliable.stats;
+  }
+
   type report = {
     algorithm : string;
     operations : (T.invocation, T.response) Sim.Trace.operation list;
@@ -34,6 +43,15 @@ module Make (T : Spec.Data_type.S) : sig
     events : int;
     pending : int;  (** invocations that never received a response *)
     delays_admissible : bool;
+    skew_admissible : bool;
+        (** were the clock offsets the processes actually ran with
+            (engine offsets + injected perturbations) within the
+            model's [eps]? *)
+    faults : Sim.Trace.fault_counts;  (** injected-fault counters *)
+    truncated : bool;
+        (** the run hit the step limit; the report summarizes the
+            prefix up to that point *)
+    channel : channel option;  (** present for {!run_reliable} runs *)
   }
 
   val kind_of : T.invocation -> Spec.Op_kind.t
@@ -41,6 +59,8 @@ module Make (T : Spec.Data_type.S) : sig
   val run :
     ?check:bool ->
     ?retain_events:bool ->
+    ?faults:Sim.Fault.plan ->
+    ?max_events:int ->
     model:Sim.Model.t ->
     offsets:Rat.t array ->
     delay:Sim.Net.t ->
@@ -54,20 +74,52 @@ module Make (T : Spec.Data_type.S) : sig
       is forwarded to the engine; with [false] the run keeps no
       per-message event in memory and the report is built entirely from
       the incremental sinks — counts, latency summaries, pairing and
-      admissibility are identical to a retained run. *)
+      admissibility are identical to a retained run.  [faults] injects
+      a {!Sim.Fault} plan; the resulting damage shows up in the
+      report's [faults] counters and its admissibility / pending /
+      linearization verdicts.  A run exceeding [max_events] (default
+      engine limit) is returned as a partial report with
+      [truncated = true] rather than raising. *)
+
+  val run_reliable :
+    ?check:bool ->
+    ?retain_events:bool ->
+    ?faults:Sim.Fault.plan ->
+    ?max_events:int ->
+    ?config:Reliable.config ->
+    model:Sim.Model.t ->
+    offsets:Rat.t array ->
+    delay:Sim.Net.t ->
+    algorithm:algorithm ->
+    workload:workload ->
+    unit ->
+    report
+  (** Like {!run}, but the algorithm's handlers are wrapped in the
+      {!Reliable} ack/retransmit channel and the whole run — the
+      algorithm's internal timing, the admissibility monitor, and
+      {!ok} — is judged against the channel's inflated model
+      [Reliable.inflated_model] ([d' = d + k * rto] by default, [eps]
+      widened by the plan's injected skew).  [config] defaults to
+      [Reliable.default_config model].  The report's [channel] field
+      records the config, the inflated model and the live channel
+      stats.  This is the "recovered" leg of [Robustness]. *)
 
   val report_of_trace :
+    ?skew_admissible:bool ->
     model:Sim.Model.t ->
     algorithm:string ->
     check:bool ->
     ('msg, T.invocation, T.response) Sim.Trace.t ->
     report
   (** Summarize an existing trace (e.g. a hand-built or truncated one)
-      from its sink snapshots. *)
+      from its sink snapshots.  [skew_admissible] (default [true])
+      must be supplied by the caller — a bare trace does not know the
+      offsets the run used. *)
 
   val ok : report -> bool
-  (** Every operation completed ([pending = 0]), delays admissible, and
-      a linearization found. *)
+  (** Every operation completed ([pending = 0]), the run was not
+      truncated, delays and skew admissible, and a linearization
+      found. *)
 
   val pp_report : Format.formatter -> report -> unit
 end

@@ -29,11 +29,14 @@ module Make (T : Spec.Data_type.S) = struct
 
   type t = { engine : engine; states : pstate array }
 
-  let create ?retain_events ~(model : Sim.Model.t) ~offsets ~delay () =
-    let states =
-      Array.init model.n (fun _ ->
-          { store = T.initial; queue = Timestamp.Map.empty; awaiting = None })
-    in
+  let fresh_states ~n =
+    Array.init n (fun _ ->
+        { store = T.initial; queue = Timestamp.Map.empty; awaiting = None })
+
+  (* The handler triple, decoupled from engine construction so the
+     protocol can also run wrapped by the reliable channel.  Only the
+     execution horizon [d + eps] is taken from the model. *)
+  let protocol ~(model : Sim.Model.t) states =
     let horizon = Rat.add model.d model.eps in
     let deliver p (ctx : (msg, tag, T.response) Sim.Engine.ctx) inv ts =
       p.queue <- Timestamp.Map.add ts { inv } p.queue;
@@ -73,9 +76,14 @@ module Make (T : Spec.Data_type.S) = struct
     let on_timer (ctx : (msg, tag, T.response) Sim.Engine.ctx) tag =
       match tag with Execute ts -> execute_up_to states.(ctx.self) ctx ts
     in
+    { Sim.Engine.on_invoke; on_receive; on_timer }
+
+  let create ?retain_events ?faults ~(model : Sim.Model.t) ~offsets ~delay ()
+      =
+    let states = fresh_states ~n:model.n in
     let engine =
-      Sim.Engine.create ?retain_events ~model ~offsets ~delay
-        ~handlers:{ on_invoke; on_receive; on_timer }
+      Sim.Engine.create ?retain_events ?faults ~model ~offsets ~delay
+        ~handlers:(protocol ~model states)
         ()
     in
     { engine; states }

@@ -16,8 +16,21 @@ module Make (T : Spec.Data_type.S) : sig
 
   type t = { engine : engine; states : pstate array }
 
+  val fresh_states : n:int -> pstate array
+  (** One initial replica state per process. *)
+
+  val protocol :
+    model:Sim.Model.t ->
+    pstate array ->
+    (msg, tag, T.invocation, T.response) Sim.Engine.handlers
+  (** The algorithm's handler triple over the given replica states
+      (only the execution horizon [d + eps] is read from the model),
+      decoupled from engine construction so it can also run wrapped by
+      the reliable channel ([Core.Reliable]). *)
+
   val create :
     ?retain_events:bool ->
+    ?faults:Sim.Fault.plan ->
     model:Sim.Model.t ->
     offsets:Rat.t array ->
     delay:Sim.Net.t ->

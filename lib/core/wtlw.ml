@@ -130,9 +130,12 @@ module Make (T : Spec.Data_type.S) = struct
     in
     drain ()
 
-  let create_with_timing ?retain_events ~(model : Sim.Model.t) ~timing
-      ~offsets ~delay () =
-    let states = Array.init model.n (fun _ -> fresh_pstate ()) in
+  let fresh_states ~n = Array.init n (fun _ -> fresh_pstate ())
+
+  (* The handler triple, separated from engine construction so the
+     same protocol can run either directly on an engine or wrapped by
+     the reliable channel ([Core.Reliable]) over a lossy one. *)
+  let protocol ~timing states =
     let add_to_queue p (ctx : (msg, tag, T.response) Sim.Engine.ctx) inv ts =
       let exec_timer = ctx.set_timer_after timing.execute_wait (Execute ts) in
       p.to_execute <- Timestamp.Map.add ts { inv; exec_timer } p.to_execute
@@ -186,20 +189,26 @@ module Make (T : Spec.Data_type.S) = struct
       | Add { inv; ts } -> add_to_queue p ctx inv ts
       | Execute ts -> execute_up_to p ctx ts
     in
+    { Sim.Engine.on_invoke; on_receive; on_timer }
+
+  let create_with_timing ?retain_events ?faults ~(model : Sim.Model.t) ~timing
+      ~offsets ~delay () =
+    let states = fresh_states ~n:model.n in
     let engine =
-      Sim.Engine.create ?retain_events ~model ~offsets ~delay
-        ~handlers:{ on_invoke; on_receive; on_timer }
+      Sim.Engine.create ?retain_events ?faults ~model ~offsets ~delay
+        ~handlers:(protocol ~timing states)
         ()
     in
     { engine; states; timing }
 
   (* Algorithm 1 exactly as published: the default timing derived from
      the model and the tradeoff parameter X in [0, d - eps]. *)
-  let create ?retain_events ~(model : Sim.Model.t) ~x ~offsets ~delay () =
+  let create ?retain_events ?faults ~(model : Sim.Model.t) ~x ~offsets ~delay
+      () =
     if not (Rat.in_range ~lo:Rat.zero ~hi:(Rat.sub model.d model.eps) x) then
       invalid_arg "Wtlw.create: X must lie in [0, d - eps]";
-    create_with_timing ?retain_events ~model ~timing:(default_timing model ~x)
-      ~offsets ~delay ()
+    create_with_timing ?retain_events ?faults ~model
+      ~timing:(default_timing model ~x) ~offsets ~delay ()
 
   let replica_state t i = t.states.(i).store
 

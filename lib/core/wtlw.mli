@@ -48,8 +48,20 @@ module Make (T : Spec.Data_type.S) : sig
       and {!Sim.Engine.run} on [engine]. *)
   type t = { engine : engine; states : pstate array; timing : timing }
 
+  val fresh_states : n:int -> pstate array
+  (** One initial replica state per process. *)
+
+  val protocol :
+    timing:timing ->
+    pstate array ->
+    (msg, tag, T.invocation, T.response) Sim.Engine.handlers
+  (** The algorithm's handler triple over the given replica states,
+      decoupled from engine construction so it can also run wrapped by
+      the reliable channel ([Core.Reliable]) over a lossy network. *)
+
   val create :
     ?retain_events:bool ->
+    ?faults:Sim.Fault.plan ->
     model:Sim.Model.t ->
     x:Rat.t ->
     offsets:Rat.t array ->
@@ -61,6 +73,7 @@ module Make (T : Spec.Data_type.S) : sig
 
   val create_with_timing :
     ?retain_events:bool ->
+    ?faults:Sim.Fault.plan ->
     model:Sim.Model.t ->
     timing:timing ->
     offsets:Rat.t array ->

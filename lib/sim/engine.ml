@@ -24,6 +24,13 @@ type ('msg, 'tag, 'inv) queued =
 type ('msg, 'tag, 'inv, 'resp) t = {
   model : Model.t;
   offsets : Rat.t array;
+  (* Per-process clock perturbation injected by the fault plan, applied
+     on top of [offsets] without re-validating the skew bound — that is
+     the point of the Skew fault. *)
+  skews : Rat.t array;
+  injector : Fault.injector option;
+  crash_at : Rat.t option array;
+  crash_logged : bool array;
   delay : Net.t;
   handlers : ('msg, 'tag, 'inv, 'resp) handlers;
   queue : ('msg, 'tag, 'inv) queued Event_queue.t;
@@ -39,29 +46,56 @@ type ('msg, 'tag, 'inv, 'resp) t = {
 
 exception Step_limit_exceeded of int
 
-let create ?(retain_events = true) ~model ~offsets ~delay ~handlers () =
+let create ?(retain_events = true) ?(faults = Fault.none) ~model ~offsets
+    ~delay ~handlers () =
   let n = (model : Model.t).n in
   if Array.length offsets <> n then
     invalid_arg "Engine.create: offsets length must equal model.n";
   if not (Model.skew_valid model offsets) then
     invalid_arg "Engine.create: clock offsets violate the skew bound";
-  {
-    model;
-    offsets = Array.copy offsets;
-    delay;
-    handlers;
-    queue = Event_queue.create ();
-    trace = Trace.create ~retain_events ~monitor:model ();
-    cancelled = Hashtbl.create 64;
-    pending = Array.make n None;
-    send_seq = Array.make_matrix n n 0;
-    now = Rat.zero;
-    next_timer_id = 0;
-    on_response = (fun ~proc:_ ~inv:_ ~resp:_ ~time:_ -> ());
-  }
+  let injector =
+    if Fault.is_none faults then None
+    else Some (Fault.instantiate faults ~model)
+  in
+  let skews = Fault.skew_offsets faults ~n in
+  let crash_at =
+    Array.init n (fun proc -> Fault.crash_time faults ~proc)
+  in
+  let t =
+    {
+      model;
+      offsets = Array.copy offsets;
+      skews;
+      injector;
+      crash_at;
+      crash_logged = Array.make n false;
+      delay;
+      handlers;
+      queue = Event_queue.create ();
+      trace = Trace.create ~retain_events ~monitor:model ();
+      cancelled = Hashtbl.create 64;
+      pending = Array.make n None;
+      send_seq = Array.make_matrix n n 0;
+      now = Rat.zero;
+      next_timer_id = 0;
+      on_response = (fun ~proc:_ ~inv:_ ~resp:_ ~time:_ -> ());
+    }
+  in
+  Array.iteri
+    (fun proc offset ->
+      if Rat.sign offset <> 0 then
+        Trace.record t.trace
+          (Trace.Fault
+             { time = Rat.zero; fault = Fault.Skewed { proc; offset } }))
+    skews;
+  t
 
 let model t = t.model
 let offsets t = Array.copy t.offsets
+
+let effective_offsets t =
+  Array.init t.model.n (fun i -> Rat.add t.offsets.(i) t.skews.(i))
+
 let now t = t.now
 let trace t = t.trace
 
@@ -79,12 +113,29 @@ let send_message t ~src ~dst msg =
   let seq = t.send_seq.(src).(dst) in
   t.send_seq.(src).(dst) <- seq + 1;
   let delay = Net.delay t.delay ~src ~dst ~time:t.now ~seq in
-  Trace.record t.trace (Send { time = t.now; src; dst; delay; msg });
+  let delays, injected =
+    match t.injector with
+    | None -> ([ delay ], [])
+    | Some inj -> Fault.on_send inj ~src ~dst ~seq ~delay
+  in
   (* Priority 0: deliveries precede timers and invocations at the same
-     instant (closed-interval delay semantics). *)
-  Event_queue.push t.queue ~priority:0
-    ~time:(Rat.add t.now delay)
-    (Ev_deliver { src; dst; msg })
+     instant (closed-interval delay semantics).  One Send per copy that
+     actually travels; a dropped message keeps its Send (with the
+     fault-free delay) but gets no Deliver. *)
+  (match delays with
+  | [] -> Trace.record t.trace (Send { time = t.now; src; dst; seq; delay; msg })
+  | delays ->
+      List.iter
+        (fun delay ->
+          Trace.record t.trace
+            (Send { time = t.now; src; dst; seq; delay; msg });
+          Event_queue.push t.queue ~priority:0
+            ~time:(Rat.add t.now delay)
+            (Ev_deliver { src; dst; msg }))
+        delays);
+  List.iter
+    (fun fault -> Trace.record t.trace (Fault { time = t.now; fault }))
+    injected
 
 let make_ctx t ~self =
   let set_timer_after dur tag =
@@ -118,7 +169,7 @@ let make_ctx t ~self =
     self;
     n = t.model.n;
     real_time = t.now;
-    local_time = Rat.add t.now t.offsets.(self);
+    local_time = Rat.add t.now (Rat.add t.offsets.(self) t.skews.(self));
     send = (fun ~dst msg -> send_message t ~src:self ~dst msg);
     broadcast;
     set_timer_after;
@@ -126,21 +177,48 @@ let make_ctx t ~self =
     respond;
   }
 
+(* Crash-stop: the process handles no event at real time >= its crash
+   time.  The first suppressed event records a single Crashed fault. *)
+let crashed t proc =
+  match t.crash_at.(proc) with
+  | Some at when Rat.ge t.now at ->
+      if not t.crash_logged.(proc) then begin
+        t.crash_logged.(proc) <- true;
+        Trace.record t.trace
+          (Fault { time = t.now; fault = Fault.Crashed { proc; at } })
+      end;
+      true
+  | _ -> false
+
 let dispatch t event =
   match event with
   | Ev_invoke { proc; inv } ->
-      (match t.pending.(proc) with
-      | Some _ ->
-          invalid_arg "Engine: invocation while an operation is pending"
-      | None -> ());
-      t.pending.(proc) <- Some inv;
-      Trace.record t.trace (Invoke { time = t.now; proc; inv });
-      t.handlers.on_invoke (make_ctx t ~self:proc) inv
+      if crashed t proc then begin
+        (* The invocation still happens from the client's point of view:
+           record it (it will stay pending forever, which flags the run)
+           but never run the handler.  Later invocations at a dead
+           process are swallowed so the trace stays well-formed. *)
+        if t.pending.(proc) = None then begin
+          t.pending.(proc) <- Some inv;
+          Trace.record t.trace (Invoke { time = t.now; proc; inv })
+        end
+      end
+      else begin
+        (match t.pending.(proc) with
+        | Some _ ->
+            invalid_arg "Engine: invocation while an operation is pending"
+        | None -> ());
+        t.pending.(proc) <- Some inv;
+        Trace.record t.trace (Invoke { time = t.now; proc; inv });
+        t.handlers.on_invoke (make_ctx t ~self:proc) inv
+      end
   | Ev_deliver { src; dst; msg } ->
-      Trace.record t.trace (Deliver { time = t.now; src; dst; msg });
-      t.handlers.on_receive (make_ctx t ~self:dst) ~src msg
+      if not (crashed t dst) then begin
+        Trace.record t.trace (Deliver { time = t.now; src; dst; msg });
+        t.handlers.on_receive (make_ctx t ~self:dst) ~src msg
+      end
   | Ev_timer { proc; id; tag } ->
-      if not (Hashtbl.mem t.cancelled id) then begin
+      if (not (crashed t proc)) && not (Hashtbl.mem t.cancelled id) then begin
         Trace.record t.trace (Timer_fire { time = t.now; proc; id });
         t.handlers.on_timer (make_ctx t ~self:proc) tag
       end

@@ -39,6 +39,7 @@ type ('msg, 'tag, 'inv, 'resp) handlers = {
 
 val create :
   ?retain_events:bool ->
+  ?faults:Fault.plan ->
   model:Model.t ->
   offsets:Rat.t array ->
   delay:Net.t ->
@@ -51,11 +52,25 @@ val create :
     Disable retention for large closed-loop runs: all counters,
     pairing, latency and admissibility views stay available at
     O(operations) memory.
+
+    [faults] (default {!Fault.none}) is instantiated into a per-run
+    injector layered between [delay] and the event queue: each
+    transmission may be dropped, duplicated or delay-spiked; processes
+    may crash-stop or have their clocks perturbed beyond the validated
+    [offsets].  Every injected fault is recorded as a
+    {!Trace.Fault} event.
     @raise Invalid_argument if [offsets] has length other than [model.n]
-    or the offsets violate the model's skew bound. *)
+    or the offsets violate the model's skew bound (fault-plan skew is
+    applied on top and deliberately escapes this check). *)
 
 val model : ('msg, 'tag, 'inv, 'resp) t -> Model.t
 val offsets : ('msg, 'tag, 'inv, 'resp) t -> Rat.t array
+
+val effective_offsets : ('msg, 'tag, 'inv, 'resp) t -> Rat.t array
+(** [offsets] plus the fault plan's clock perturbations — the offsets
+    processes actually run with.  Equal to {!offsets} for fault-free
+    runs; may violate the model's skew bound otherwise. *)
+
 val now : ('msg, 'tag, 'inv, 'resp) t -> Rat.t
 
 val schedule_invoke :

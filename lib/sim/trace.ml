@@ -5,6 +5,7 @@ type ('msg, 'inv, 'resp) event =
       time : Rat.t;
       src : int;
       dst : int;
+      seq : int;
       delay : Rat.t;
       msg : 'msg;
     }
@@ -12,6 +13,7 @@ type ('msg, 'inv, 'resp) event =
   | Timer_set of { time : Rat.t; proc : int; id : int; expiry : Rat.t }
   | Timer_fire of { time : Rat.t; proc : int; id : int }
   | Timer_cancel of { time : Rat.t; proc : int; id : int }
+  | Fault of { time : Rat.t; fault : Fault.kind }
 
 type ('inv, 'resp) operation = {
   proc : int;
@@ -26,7 +28,26 @@ type ('msg, 'inv, 'resp) sink = {
   on_event : ('msg, 'inv, 'resp) event -> unit;
 }
 
-type violation = { at : Rat.t; src : int; dst : int; delay : Rat.t }
+type violation = {
+  at : Rat.t;
+  src : int;
+  dst : int;
+  seq : int;
+  delay : Rat.t;
+}
+
+type fault_counts = {
+  dropped : int;
+  duplicated : int;
+  spiked : int;
+  crashed : int;
+  skewed : int;
+}
+
+let no_faults =
+  { dropped = 0; duplicated = 0; spiked = 0; crashed = 0; skewed = 0 }
+
+let total_faults c = c.dropped + c.duplicated + c.spiked + c.crashed + c.skewed
 
 (* Every built-in view below is maintained incrementally by [record]:
    no accessor re-walks the event list.  The full event list itself is
@@ -55,6 +76,8 @@ type ('msg, 'inv, 'resp) t = {
      is recorded, against the model fixed at attach time. *)
   mutable monitor : Model.t option;
   mutable first_violation : violation option;
+  (* Fault counters: one O(1) cell per injected-fault kind. *)
+  mutable faults : fault_counts;
   mutable last : Rat.t;
   mutable extra_sinks : ('msg, 'inv, 'resp) sink list;
 }
@@ -74,6 +97,7 @@ let create ?(retain_events = true) ?monitor () =
     delay_env = None;
     monitor;
     first_violation = None;
+    faults = no_faults;
     last = Rat.zero;
     extra_sinks = [];
   }
@@ -91,7 +115,8 @@ let event_time = function
   | Deliver { time; _ }
   | Timer_set { time; _ }
   | Timer_fire { time; _ }
-  | Timer_cancel { time; _ } -> time
+  | Timer_cancel { time; _ }
+  | Fault { time; _ } -> time
 
 let record t event =
   t.count <- t.count + 1;
@@ -115,7 +140,7 @@ let record t event =
             t.rev_finished <- op :: t.rev_finished;
             t.finished <- t.finished + 1;
             List.iter (fun observe -> observe op) t.op_observers)
-  | Send { time; src; dst; delay; _ } ->
+  | Send { time; src; dst; seq; delay; _ } ->
       t.sends <- t.sends + 1;
       t.delay_env <-
         (match t.delay_env with
@@ -125,9 +150,18 @@ let record t event =
       | Some model
         when t.first_violation = None && not (Model.delay_valid model delay)
         ->
-          t.first_violation <- Some { at = time; src; dst; delay }
+          t.first_violation <- Some { at = time; src; dst; seq; delay }
       | _ -> ())
   | Deliver _ -> t.delivers <- t.delivers + 1
+  | Fault { fault; _ } ->
+      let c = t.faults in
+      t.faults <-
+        (match fault with
+        | Fault.Dropped _ -> { c with dropped = c.dropped + 1 }
+        | Fault.Duplicated _ -> { c with duplicated = c.duplicated + 1 }
+        | Fault.Spiked _ -> { c with spiked = c.spiked + 1 }
+        | Fault.Crashed _ -> { c with crashed = c.crashed + 1 }
+        | Fault.Skewed _ -> { c with skewed = c.skewed + 1 })
   | Timer_set _ | Timer_fire _ | Timer_cancel _ -> ());
   if t.retain then t.rev_events <- event :: t.rev_events;
   List.iter (fun sink -> sink.on_event event) t.extra_sinks
@@ -163,7 +197,7 @@ let message_delays t =
     (function
       | Send { src; dst; delay; _ } -> Some (src, dst, delay)
       | Invoke _ | Respond _ | Deliver _ | Timer_set _ | Timer_fire _
-      | Timer_cancel _ -> None)
+      | Timer_cancel _ | Fault _ -> None)
     (events t)
 
 let delay_bounds t = t.delay_env
@@ -182,10 +216,10 @@ let monitor_admissibility t model =
   if t.first_violation = None && t.retain then
     List.iter
       (function
-        | Send { time; src; dst; delay; _ }
+        | Send { time; src; dst; seq; delay; _ }
           when t.first_violation = None
                && not (Model.delay_valid model delay) ->
-            t.first_violation <- Some { at = time; src; dst; delay }
+            t.first_violation <- Some { at = time; src; dst; seq; delay }
         | _ -> ())
       (List.rev t.rev_events)
 
@@ -194,6 +228,7 @@ let first_inadmissible t = t.first_violation
 let event_count t = t.count
 let send_count t = t.sends
 let deliver_count t = t.delivers
+let fault_counts t = t.faults
 
 let operation_count t =
   check_well_formed t;

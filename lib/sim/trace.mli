@@ -34,6 +34,7 @@ type ('msg, 'inv, 'resp) event =
       time : Rat.t;
       src : int;
       dst : int;
+      seq : int;
       delay : Rat.t;
       msg : 'msg;
     }
@@ -41,6 +42,8 @@ type ('msg, 'inv, 'resp) event =
   | Timer_set of { time : Rat.t; proc : int; id : int; expiry : Rat.t }
   | Timer_fire of { time : Rat.t; proc : int; id : int }
   | Timer_cancel of { time : Rat.t; proc : int; id : int }
+  | Fault of { time : Rat.t; fault : Fault.kind }
+      (** an injected fault ([Sim.Fault]), recorded at injection time *)
 
 type ('msg, 'inv, 'resp) t
 
@@ -61,8 +64,28 @@ type ('msg, 'inv, 'resp) sink = {
   on_event : ('msg, 'inv, 'resp) event -> unit;
 }
 
-(** The first inadmissible message delay seen by the monitor. *)
-type violation = { at : Rat.t; src : int; dst : int; delay : Rat.t }
+(** The first inadmissible message delay seen by the monitor; [seq] is
+    the engine's per-(src, dst) FIFO sequence number, so the record
+    names the exact offending transmission. *)
+type violation = {
+  at : Rat.t;
+  src : int;
+  dst : int;
+  seq : int;
+  delay : Rat.t;
+}
+
+(** O(1) per-kind counters over injected {!Fault} events. *)
+type fault_counts = {
+  dropped : int;
+  duplicated : int;
+  spiked : int;
+  crashed : int;
+  skewed : int;
+}
+
+val no_faults : fault_counts
+val total_faults : fault_counts -> int
 
 val create :
   ?retain_events:bool -> ?monitor:Model.t -> unit -> ('msg, 'inv, 'resp) t
@@ -133,6 +156,10 @@ val last_time : ('msg, 'inv, 'resp) t -> Rat.t
 val event_count : ('msg, 'inv, 'resp) t -> int
 val send_count : ('msg, 'inv, 'resp) t -> int
 val deliver_count : ('msg, 'inv, 'resp) t -> int
+
+val fault_counts : ('msg, 'inv, 'resp) t -> fault_counts
+(** Injected-fault counters (all zero for fault-free runs); O(1) and
+    maintained with retention off. *)
 
 val operation_count : ('msg, 'inv, 'resp) t -> int
 (** Completed operations, from the pairing sink (O(1)).

@@ -155,7 +155,7 @@ let test_state_invariants () =
         ~proc:(i mod 4) (Spec.Register.Write v))
     writes;
   Sim.Engine.run cen.engine;
-  Alcotest.(check bool) "centralized master holds 5" true (cen.master = 5)
+  Alcotest.(check bool) "centralized master holds 5" true (CenQ.master cen = 5)
 
 (* Both baselines must be linearizable for every bundled data type. *)
 let test_baselines_all_types () =

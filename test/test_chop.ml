@@ -87,15 +87,15 @@ let test_lemma2_on_manufactured_run () =
   matrix.(1).(0) <- rat 11 1;
   (* valid message received before cut *)
   Sim.Trace.record t
-    (Send { time = Rat.zero; src = 0; dst = 1; delay = rat 8 1; msg = () });
+    (Send { time = Rat.zero; src = 0; dst = 1; seq = 0; delay = rat 8 1; msg = () });
   Sim.Trace.record t (Deliver { time = rat 8 1; src = 0; dst = 1; msg = () });
   (* the invalid message: sent at 5, would arrive at 16 *)
   Sim.Trace.record t
-    (Send { time = rat 5 1; src = 1; dst = 0; delay = rat 11 1; msg = () });
+    (Send { time = rat 5 1; src = 1; dst = 0; seq = 0; delay = rat 11 1; msg = () });
   Sim.Trace.record t (Deliver { time = rat 16 1; src = 1; dst = 0; msg = () });
   (* a late valid message whose delivery gets chopped *)
   Sim.Trace.record t
-    (Send { time = rat 14 1; src = 2; dst = 0; delay = rat 8 1; msg = () });
+    (Send { time = rat 14 1; src = 2; dst = 0; seq = 0; delay = rat 8 1; msg = () });
   Sim.Trace.record t (Deliver { time = rat 22 1; src = 2; dst = 0; msg = () });
   let cuts =
     Bounds.Chop.chop_times ~matrix ~invalid:(1, 0) ~t_m:(rat 5 1)
@@ -160,7 +160,8 @@ let prop_chop_no_dangling_receives =
           | Sim.Trace.Timer_set { time; proc; _ }
           | Sim.Trace.Timer_fire { time; proc; _ }
           | Sim.Trace.Timer_cancel { time; proc; _ } ->
-              Rat.lt time cuts.(proc))
+              Rat.lt time cuts.(proc)
+          | Sim.Trace.Fault { time; _ } -> Rat.lt time cuts.(0))
         events)
 
 let () =

@@ -77,6 +77,38 @@ let prop_fifo_stability =
       let popped = List.init n (fun _ -> snd (Option.get (Sim.Event_queue.pop q))) in
       popped = List.init n Fun.id)
 
+(* Property: tie-breaking among entries with equal (time, priority) is
+   stable even when entries are duplicated — pushing every entry twice
+   (as the fault injector's message duplication does) must pop the
+   whole queue as the stable sort of the push sequence. *)
+let prop_duplicate_stability =
+  QCheck.Test.make ~name:"ties (time, priority) stay FIFO under duplication"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 40) (pair (int_range 0 3) (int_range 0 1)))
+    (fun entries ->
+      let q = Sim.Event_queue.create () in
+      let pushed =
+        List.concat
+          (List.mapi
+             (fun i (t, p) -> [ (t, p, 2 * i); (t, p, (2 * i) + 1) ])
+             entries)
+      in
+      List.iter
+        (fun ((t, p, _) as v) ->
+          Sim.Event_queue.push q ~priority:p ~time:(Rat.of_int t) v)
+        pushed;
+      let popped =
+        List.init (List.length pushed) (fun _ ->
+            snd (Option.get (Sim.Event_queue.pop q)))
+      in
+      let expected =
+        List.stable_sort
+          (fun (t1, p1, _) (t2, p2, _) -> compare (t1, p1) (t2, p2))
+          pushed
+      in
+      popped = expected)
+
 let () =
   Alcotest.run "event_queue"
     [
@@ -89,5 +121,6 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_sorted_drain; prop_fifo_stability ] );
+          [ prop_sorted_drain; prop_fifo_stability; prop_duplicate_stability ]
+      );
     ]

@@ -1,0 +1,192 @@
+(* Fault-injection tests: seed determinism of a plan, the trace's O(1)
+   fault counters, crash-stop suppression, and — for both retained and
+   retention-free runs — the admissibility monitor naming the exact
+   (src, dst, seq, delay) of an injected out-of-envelope spike. *)
+
+let rat = Rat.make
+let model = Sim.Model.make ~n:3 ~d:(rat 10 1) ~u:(rat 4 1) ~eps:(rat 1 1)
+
+module Reg = Spec.Register
+module Algo = Core.Wtlw.Make (Reg)
+
+(* A small fixed schedule over Algorithm 1; delays come from a uniform
+   matrix so injected spikes have an exactly predictable magnitude. *)
+let run_cluster ?(retain_events = true) ~faults () =
+  let cluster =
+    Algo.create ~retain_events ~faults ~model ~x:(rat 2 1)
+      ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.matrix (Sim.Net.uniform_matrix ~n:3 (rat 8 1)))
+      ()
+  in
+  List.iteri
+    (fun i (proc, inv) ->
+      Sim.Engine.schedule_invoke cluster.engine ~at:(rat (i * 25) 1) ~proc inv)
+    [ (0, Reg.Write 1); (1, Reg.Read); (2, Reg.Write 2); (1, Reg.Read) ];
+  Sim.Engine.run cluster.engine;
+  Sim.Engine.trace cluster.engine
+
+let fingerprint ev =
+  match ev with
+  | Sim.Trace.Invoke { time; proc; _ } ->
+      Printf.sprintf "I p%d @%s" proc (Rat.to_string time)
+  | Respond { time; proc; _ } ->
+      Printf.sprintf "R p%d @%s" proc (Rat.to_string time)
+  | Send { time; src; dst; seq; delay; _ } ->
+      Printf.sprintf "S %d->%d #%d @%s +%s" src dst seq (Rat.to_string time)
+        (Rat.to_string delay)
+  | Deliver { time; src; dst; _ } ->
+      Printf.sprintf "D %d->%d @%s" src dst (Rat.to_string time)
+  | Timer_set { time; proc; id; _ } ->
+      Printf.sprintf "Ts p%d #%d @%s" proc id (Rat.to_string time)
+  | Timer_fire { time; proc; id } ->
+      Printf.sprintf "Tf p%d #%d @%s" proc id (Rat.to_string time)
+  | Timer_cancel { time; proc; id } ->
+      Printf.sprintf "Tc p%d #%d @%s" proc id (Rat.to_string time)
+  | Fault { time; fault } ->
+      Format.asprintf "F @%s %a" (Rat.to_string time) Sim.Fault.pp_kind fault
+
+let storm seed =
+  Sim.Fault.plan ~seed
+    [
+      Sim.Fault.drops 0.3;
+      Sim.Fault.duplicates 0.3;
+      Sim.Fault.spikes ~margin:(rat 5 1) 0.2;
+    ]
+
+let test_plan_determinism () =
+  let events () =
+    List.map fingerprint (Sim.Trace.events (run_cluster ~faults:(storm 11) ()))
+  in
+  let first = events () and second = events () in
+  Alcotest.(check bool) "trace nonempty" true (first <> []);
+  Alcotest.(check (list string)) "same seed, identical trace" first second
+
+let test_seed_changes_faults () =
+  let counts seed =
+    Sim.Trace.fault_counts (run_cluster ~faults:(storm seed) ())
+  in
+  Alcotest.(check bool) "some fault injected" true
+    (Sim.Trace.total_faults (counts 11) > 0);
+  (* Not a tautology for these seeds; a different seed rolls a
+     different fault stream. *)
+  Alcotest.(check bool) "different seed, different stream" true
+    (counts 11 <> counts 12)
+
+let test_drop_counters () =
+  let trace = run_cluster ~faults:(Sim.Fault.plan [ Sim.Fault.drops 1.0 ]) () in
+  let counts = Sim.Trace.fault_counts trace in
+  Alcotest.(check bool) "messages were sent" true
+    (Sim.Trace.send_count trace > 0);
+  Alcotest.(check int) "nothing delivered" 0 (Sim.Trace.deliver_count trace);
+  Alcotest.(check int) "every send counted dropped"
+    (Sim.Trace.send_count trace)
+    counts.dropped
+
+let test_duplicate_counters () =
+  let trace =
+    run_cluster ~faults:(Sim.Fault.plan [ Sim.Fault.duplicates 1.0 ]) ()
+  in
+  let counts = Sim.Trace.fault_counts trace in
+  Alcotest.(check bool) "duplications recorded" true (counts.duplicated > 0);
+  (* Each transmission records one Send per copy, and each copy is
+     delivered. *)
+  Alcotest.(check int) "two sends per transmission"
+    (2 * counts.duplicated)
+    (Sim.Trace.send_count trace);
+  Alcotest.(check int) "every copy delivered"
+    (Sim.Trace.send_count trace)
+    (Sim.Trace.deliver_count trace)
+
+let test_crash_suppression () =
+  let faults =
+    Sim.Fault.plan [ Sim.Fault.crash ~proc:1 ~at:(rat 1 1) ]
+  in
+  let trace = run_cluster ~faults () in
+  let counts = Sim.Trace.fault_counts trace in
+  Alcotest.(check int) "crash logged exactly once" 1 counts.crashed;
+  (* p1's operations were invoked after the crash: recorded as pending
+     forever, never answered. *)
+  Alcotest.(check bool) "crashed process leaves pending ops" true
+    (List.exists (fun (proc, _) -> proc = 1) (Sim.Trace.pending_invocations trace))
+
+let test_skew_escapes_validation () =
+  let offset = rat 7 1 (* far beyond eps = 1 *) in
+  let faults = Sim.Fault.plan [ Sim.Fault.skew ~proc:0 ~offset ] in
+  let cluster =
+    Algo.create ~faults ~model ~x:(rat 2 1)
+      ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.matrix (Sim.Net.uniform_matrix ~n:3 (rat 8 1)))
+      ()
+  in
+  let effective = Sim.Engine.effective_offsets cluster.engine in
+  Alcotest.(check string) "offset applied" "7" (Rat.to_string effective.(0));
+  Alcotest.(check bool) "beyond the model's skew bound" false
+    (Sim.Model.skew_valid model effective)
+
+(* Satellite: an injected out-of-envelope delay must be reported by the
+   monitor with the exact offending transmission — src, dst, the
+   engine's FIFO sequence number and the faulted delay — whether or not
+   the run retains events. *)
+let spike_plan =
+  Sim.Fault.plan ~seed:3
+    [
+      Sim.Fault.spikes
+        ~edges:(Sim.Fault.Edges [ (0, 1) ])
+        ~margin:(rat 5 1) (* > u = 4: guaranteed above the envelope *)
+        1.0;
+    ]
+
+let violation_with ~retain_events =
+  let trace = run_cluster ~retain_events ~faults:spike_plan () in
+  match Sim.Trace.first_inadmissible trace with
+  | None -> Alcotest.fail "monitor saw no violation"
+  | Some v -> v
+
+let check_violation label (v : Sim.Trace.violation) =
+  Alcotest.(check int) (label ^ ": src") 0 v.src;
+  Alcotest.(check int) (label ^ ": dst") 1 v.dst;
+  Alcotest.(check int) (label ^ ": first transmission on the edge") 0 v.seq;
+  (* uniform delay 8 + margin 5 *)
+  Alcotest.(check string) (label ^ ": spiked delay") "13" (Rat.to_string v.delay)
+
+let test_monitor_names_spike_retained () =
+  check_violation "retained" (violation_with ~retain_events:true)
+
+let test_monitor_names_spike_streaming () =
+  let retained = violation_with ~retain_events:true in
+  let streaming = violation_with ~retain_events:false in
+  check_violation "streaming" streaming;
+  Alcotest.(check bool) "identical verdict with retention off" true
+    (retained = streaming)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same trace" `Quick
+            test_plan_determinism;
+          Alcotest.test_case "seed changes the stream" `Quick
+            test_seed_changes_faults;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "drop everything" `Quick test_drop_counters;
+          Alcotest.test_case "duplicate everything" `Quick
+            test_duplicate_counters;
+        ] );
+      ( "processes",
+        [
+          Alcotest.test_case "crash-stop suppression" `Quick
+            test_crash_suppression;
+          Alcotest.test_case "skew escapes validation" `Quick
+            test_skew_escapes_validation;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "names the spiked transmission (retained)" `Quick
+            test_monitor_names_spike_retained;
+          Alcotest.test_case "names the spiked transmission (streaming)" `Quick
+            test_monitor_names_spike_streaming;
+        ] );
+    ]

@@ -90,6 +90,7 @@ let test_shift_preserves_views () =
       | Timer_set _ -> "tset"
       | Timer_fire _ -> "tfire"
       | Timer_cancel _ -> "tcancel"
+      | Fault _ -> "fault"
     in
     let sig_of t =
       List.map kind (Bounds.Shifting.view_signature t proc)

@@ -60,7 +60,7 @@ let gen_events (rng : Random.State.t) : ev list =
           if Random.State.int rng 10 = 0 then Rat.add model.d Rat.one
           else Rat.add (Rat.sub model.d model.u) (rat (Random.State.int rng 9) 2)
         in
-        push (Send { time = !time; src = proc; dst; delay; msg = step })
+        push (Send { time = !time; src = proc; dst; seq = step; delay; msg = step })
     | 4 ->
         push (Deliver { time = !time; src = proc; dst = (proc + 1) mod n; msg = step })
     | _ ->
@@ -134,7 +134,8 @@ let batch_reference (es : ev list) : reference =
             | Deliver { time; _ }
             | Timer_set { time; _ }
             | Timer_fire { time; _ }
-            | Timer_cancel { time; _ } ->
+            | Timer_cancel { time; _ }
+            | Fault { time; _ } ->
                 time
           in
           Rat.max acc t)

@@ -8,7 +8,7 @@ type msg = M of int
 let record_sample (t : (msg, string, int) Sim.Trace.t) =
   Sim.Trace.record t (Invoke { time = Rat.zero; proc = 0; inv = "write" });
   Sim.Trace.record t
-    (Send { time = Rat.zero; src = 0; dst = 1; delay = rat 8 1; msg = M 1 });
+    (Send { time = Rat.zero; src = 0; dst = 1; seq = 0; delay = rat 8 1; msg = M 1 });
   Sim.Trace.record t
     (Timer_set { time = Rat.zero; proc = 0; id = 0; expiry = rat 5 1 });
   Sim.Trace.record t (Invoke { time = rat 1 1; proc = 1; inv = "read" });
@@ -63,7 +63,7 @@ let test_delays () =
     (Sim.Trace.delays_admissible model t);
   let bad : (msg, string, int) Sim.Trace.t = Sim.Trace.create () in
   Sim.Trace.record bad
-    (Send { time = Rat.zero; src = 0; dst = 1; delay = rat 11 1; msg = M 0 });
+    (Send { time = Rat.zero; src = 0; dst = 1; seq = 0; delay = rat 11 1; msg = M 0 });
   Alcotest.(check bool) "delay 11 > d inadmissible" false
     (Sim.Trace.delays_admissible model bad)
 
@@ -148,7 +148,7 @@ let test_monitor () =
   Alcotest.(check bool) "no violation on admissible run" true
     (Sim.Trace.first_inadmissible t = None);
   Sim.Trace.record t
-    (Send { time = rat 9 1; src = 2; dst = 0; delay = rat 11 1; msg = M 9 });
+    (Send { time = rat 9 1; src = 2; dst = 0; seq = 0; delay = rat 11 1; msg = M 9 });
   (match Sim.Trace.first_inadmissible t with
   | Some v ->
       Alcotest.(check string) "violating delay" "11" (Rat.to_string v.delay);
