@@ -15,8 +15,11 @@
    - Figure 11: the operation-class containment table, discovered by
      the classification search over every bundled data type.
    - Lemma 4: measured per-class latencies against the formulas.
+   - Sweep engine: the table campaign grid evaluated on one domain and
+     again on a pool, checking the fingerprints are byte-identical and
+     reporting both wall clocks.
    - Robustness: the fault-injection matrix, each nemesis case raw and
-     over the reliable channel.
+     over the reliable channel (driven by [Sweep.robustness]).
    - Bechamel microbenchmarks: one per table (wall-clock cost of
      regenerating each table's measured workload), plus the three
      algorithms on a fixed workload. *)
@@ -33,49 +36,68 @@ let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
 (* ------------------------------------------------------------------ *)
-(* Measured worst-case latency per operation, per algorithm.          *)
+(* Measured worst-case latency per operation, per algorithm, via the   *)
+(* sweep engine.  One campaign grid replaces the old per-type          *)
+(* sequential loops: a cell per (type, algorithm, delay schedule,      *)
+(* seed), sharded across domains by [Sweep.run], with the adversarial  *)
+(* all-max/all-min schedules realizing the worst cases the tables      *)
+(* compare against.                                                    *)
 
-module Measured (T : Spec.Data_type.S) = struct
-  module R = Core.Runtime.Make (T)
+let packed key =
+  match Sweep.Packed_type.find key with
+  | Some pt -> pt
+  | None -> failwith ("bench: unknown packed type " ^ key)
 
-  let delay_models =
-    [
-      Sim.Net.random_model ~seed:1 model;
-      Sim.Net.random_model ~seed:2 model;
-      Sim.Net.max_delay_model model;
-      Sim.Net.min_delay_model model;
-    ]
+let bench_grid =
+  {
+    Sweep.default_grid with
+    types =
+      [ packed "rmw-register"; packed "queue"; packed "stack"; packed "tree" ];
+    algos =
+      [
+        Sweep.Wtlw { frac = Rat.div x (Rat.sub model.d model.eps) };
+        Sweep.Centralized;
+        Sweep.Tob;
+      ];
+    points = [ model ];
+    delays = [ Sweep.Random_delays; Sweep.Max_delays; Sweep.Min_delays ];
+    legs = [ Sweep.Raw ];
+    seeds = [ 10; 11 ];
+    per_proc = 8;
+  }
 
-  (* Merge per-op maxima across several runs. *)
-  let max_by_op algorithm =
-    let table = Hashtbl.create 8 in
-    List.iteri
-      (fun i delay ->
-        let report =
-          R.run ~check:false ~model ~offsets ~delay ~algorithm
-            ~workload:
-              (R.Closed_loop { per_proc = 8; think = rat 1 2; seed = 10 + i })
-            ()
-        in
-        List.iter
-          (fun (op, (s : Core.Metrics.summary)) ->
-            let current =
-              Option.value ~default:s.max (Hashtbl.find_opt table op)
-            in
-            Hashtbl.replace table op (Rat.max current s.max))
-          report.by_op)
-      delay_models;
-    Hashtbl.fold (fun op v acc -> (op, v) :: acc) table []
+let campaign = lazy (Sweep.run ~jobs:1 bench_grid)
 
-  let wtlw () = max_by_op (R.Wtlw { x })
-  let centralized () = max_by_op R.Centralized
-  let tob () = max_by_op R.Tob
-end
+(* Merge per-op maxima over every completed cell of one (type, algo)
+   slice of the campaign. *)
+let max_by_op ~type_key ~algo (t : Sweep.t) =
+  let table = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (c : Sweep.cell) ->
+      let algo_matches =
+        match (c.algo, algo) with
+        | Sweep.Wtlw _, `Wtlw -> true
+        | Sweep.Centralized, `Centralized -> true
+        | Sweep.Tob, `Tob -> true
+        | _ -> false
+      in
+      if algo_matches && String.equal (Sweep.Packed_type.key c.dt) type_key
+      then
+        match t.results.(i) with
+        | Sweep.Pool.Done (v : Sweep.verdict) ->
+            List.iter
+              (fun (op, (s : Core.Metrics.summary)) ->
+                let current =
+                  Option.value ~default:s.max (Hashtbl.find_opt table op)
+                in
+                Hashtbl.replace table op (Rat.max current s.max))
+              v.by_op
+        | _ -> ())
+    t.cells;
+  Hashtbl.fold (fun op v acc -> (op, v) :: acc) table []
 
-module M_rmw = Measured (Spec.Rmw_register)
-module M_queue = Measured (Spec.Fifo_queue)
-module M_stack = Measured (Spec.Stack_type)
-module M_tree = Measured (Spec.Tree_type)
+let measured_wtlw type_key =
+  max_by_op ~type_key ~algo:`Wtlw (Lazy.force campaign)
 
 (* Map a table row's operation label to measured values. *)
 type source = Single of string | Sum of string * string
@@ -139,7 +161,7 @@ let run_tables () =
   section "Tables 1-4: per-data-type bounds, theory vs measured";
   print_table_with_measurements
     (Bounds.Tables.rmw_register model ~x)
-    ~measured:(M_rmw.wtlw ())
+    ~measured:(measured_wtlw "rmw-register")
     ~sources:
       [
         ("read-modify-write", Single "rmw");
@@ -149,7 +171,7 @@ let run_tables () =
       ];
   print_table_with_measurements
     (Bounds.Tables.queue model ~x)
-    ~measured:(M_queue.wtlw ())
+    ~measured:(measured_wtlw "queue")
     ~sources:
       [
         ("enqueue", Single "enqueue");
@@ -159,7 +181,7 @@ let run_tables () =
       ];
   print_table_with_measurements
     (Bounds.Tables.stack model ~x)
-    ~measured:(M_stack.wtlw ())
+    ~measured:(measured_wtlw "stack")
     ~sources:
       [
         ("push", Single "push");
@@ -169,7 +191,7 @@ let run_tables () =
       ];
   print_table_with_measurements
     (Bounds.Tables.tree model ~x)
-    ~measured:(M_tree.wtlw ())
+    ~measured:(measured_wtlw "tree")
     ~sources:
       [
         ("insert", Single "insert");
@@ -345,11 +367,12 @@ let lemma4_and_baselines () =
   in
   let module R = Core.Runtime.Make (Spec.Fifo_queue) in
   let report =
-    R.run ~check:false ~model ~offsets
-      ~delay:(Sim.Net.max_delay_model model)
-      ~algorithm:(R.Wtlw { x })
-      ~workload:(R.Closed_loop { per_proc = 20; think = rat 1 2; seed = 3 })
-      ()
+    R.run
+      (R.Config.make ~check:false ~model ~offsets
+         ~delay:(Sim.Net.max_delay_model model)
+         ~algorithm:(R.Wtlw { x })
+         ~workload:(R.Closed_loop { per_proc = 20; think = rat 1 2; seed = 3 })
+         ())
   in
   List.iter
     (fun (kind, formula, bound) ->
@@ -369,9 +392,10 @@ let lemma4_and_baselines () =
       (List.sort compare measured);
     Format.printf "@."
   in
-  show "wtlw(X=3)" (M_queue.wtlw ());
-  show "centralized (<= 2d = 24)" (M_queue.centralized ());
-  show "tob (= d+eps = 15)" (M_queue.tob ())
+  let c = Lazy.force campaign in
+  show "wtlw(X=3)" (max_by_op ~type_key:"queue" ~algo:`Wtlw c);
+  show "centralized (<= 2d = 24)" (max_by_op ~type_key:"queue" ~algo:`Centralized c);
+  show "tob (= d+eps = 15)" (max_by_op ~type_key:"queue" ~algo:`Tob c)
 
 (* ------------------------------------------------------------------ *)
 (* Clock synchronization preamble (the paper's assumed substrate).    *)
@@ -406,12 +430,13 @@ let clock_sync_section () =
      eps. *)
   let module R = Core.Runtime.Make (Spec.Fifo_queue) in
   let report =
-    R.run ~model
-      ~offsets:(Sim.Clock_sync.centered result)
-      ~delay:(Sim.Net.random_model ~seed:78 model)
-      ~algorithm:(R.Wtlw { x })
-      ~workload:(R.Closed_loop { per_proc = 6; think = rat 1 2; seed = 78 })
-      ()
+    R.run
+      (R.Config.make ~model
+         ~offsets:(Sim.Clock_sync.centered result)
+         ~delay:(Sim.Net.random_model ~seed:78 model)
+         ~algorithm:(R.Wtlw { x })
+         ~workload:(R.Closed_loop { per_proc = 6; think = rat 1 2; seed = 78 })
+         ())
   in
   Format.printf "bootstrapped Algorithm 1 run: linearizable = %b@."
     (Option.is_some report.linearization)
@@ -422,56 +447,75 @@ let clock_sync_section () =
 
 let sweep_section () =
   section "Sweep 1: the X tradeoff (queue, measured worst case per class)";
-  let module R = Core.Runtime.Make (Spec.Fifo_queue) in
-  let x_max = Rat.sub model.d model.eps in
+  (* One sweep cell per X value, X declared as a fraction of d - eps. *)
+  let tradeoff =
+    Sweep.run
+      {
+        Sweep.default_grid with
+        types = [ packed "queue" ];
+        algos = List.map (fun step -> Sweep.Wtlw { frac = rat step 4 }) [ 0; 1; 2; 3; 4 ];
+        points = [ model ];
+        delays = [ Sweep.Max_delays ];
+        legs = [ Sweep.Raw ];
+        seeds = [ 2 ];
+        per_proc = 8;
+      }
+  in
   Format.printf "%-8s %14s %14s %14s@." "X" "mutator (X+eps)"
     "accessor (d-X+eps)" "mixed (d+eps)";
-  List.iter
-    (fun step ->
-      let x = Rat.mul x_max (rat step 4) in
-      let report =
-        R.run ~check:false ~model ~offsets
-          ~delay:(Sim.Net.max_delay_model model)
-          ~algorithm:(R.Wtlw { x })
-          ~workload:(R.Closed_loop { per_proc = 8; think = rat 1 2; seed = 2 })
-          ()
-      in
-      let kind_max kind =
-        match List.assoc_opt kind report.by_kind with
-        | Some (s : Core.Metrics.summary) -> Rat.to_string s.max
-        | None -> "-"
-      in
-      Format.printf "%-8s %14s %14s %14s@." (Rat.to_string x)
-        (kind_max Spec.Op_kind.Pure_mutator)
-        (kind_max Spec.Op_kind.Pure_accessor)
-        (kind_max Spec.Op_kind.Mixed))
-    [ 0; 1; 2; 3; 4 ];
+  Array.iteri
+    (fun i (c : Sweep.cell) ->
+      match tradeoff.results.(i) with
+      | Sweep.Pool.Done (v : Sweep.verdict) ->
+          let kind_max kind =
+            match List.assoc_opt kind v.by_kind with
+            | Some (s : Core.Metrics.summary) -> Rat.to_string s.max
+            | None -> "-"
+          in
+          Format.printf "%-8s %14s %14s %14s@."
+            (Rat.to_string (Sweep.resolve_x c.point c.algo))
+            (kind_max Spec.Op_kind.Pure_mutator)
+            (kind_max Spec.Op_kind.Pure_accessor)
+            (kind_max Spec.Op_kind.Mixed)
+      | Sweep.Pool.Failed msg -> Format.printf "FAILED: %s@." msg
+      | Sweep.Pool.Skipped -> Format.printf "skipped@.")
+    tradeoff.cells;
   section
     "Sweep 2: Theorem 3 tightness as n grows (X = 0, eps = (1-1/n)u)";
+  (* One cell per model point; the sweep's point axis carries n. *)
+  let growth =
+    Sweep.run
+      {
+        Sweep.default_grid with
+        types = [ packed "register" ];
+        algos = [ Sweep.Wtlw { frac = Rat.zero } ];
+        points =
+          List.map
+            (fun n -> Sim.Model.make_optimal_eps ~n ~d:(rat 12 1) ~u:(rat 4 1))
+            [ 2; 3; 4; 6; 8 ];
+        delays = [ Sweep.Random_delays ];
+        legs = [ Sweep.Raw ];
+        seeds = [ 1 ];
+        per_proc = 6;
+      }
+  in
   Format.printf "%-4s %16s %18s %8s@." "n" "LB (1-1/n)u" "measured mutator"
     "tight?";
-  List.iter
-    (fun n ->
-      let model_n = Sim.Model.make_optimal_eps ~n ~d:(rat 12 1) ~u:(rat 4 1) in
-      let module Rn = Core.Runtime.Make (Spec.Register) in
-      let report =
-        Rn.run ~check:false ~model:model_n
-          ~offsets:(Array.make n Rat.zero)
-          ~delay:(Sim.Net.random_model ~seed:n model_n)
-          ~algorithm:(Rn.Wtlw { x = Rat.zero })
-          ~workload:(Rn.Closed_loop { per_proc = 6; think = rat 1 2; seed = n })
-          ()
-      in
-      let lb = Bounds.Theorems.thm3_last_sensitive model_n in
+  Array.iteri
+    (fun i (c : Sweep.cell) ->
+      let lb = Bounds.Theorems.thm3_last_sensitive c.point in
       let measured =
-        match List.assoc_opt Spec.Op_kind.Pure_mutator report.by_kind with
-        | Some (s : Core.Metrics.summary) -> s.max
-        | None -> Rat.zero
+        match growth.results.(i) with
+        | Sweep.Pool.Done (v : Sweep.verdict) -> (
+            match List.assoc_opt Spec.Op_kind.Pure_mutator v.by_kind with
+            | Some (s : Core.Metrics.summary) -> s.max
+            | None -> Rat.zero)
+        | _ -> Rat.zero
       in
-      Format.printf "%-4d %16s %18s %8s@." n (Rat.to_string lb)
+      Format.printf "%-4d %16s %18s %8s@." c.point.n (Rat.to_string lb)
         (Rat.to_string measured)
         (if Rat.equal lb measured then "tight" else "gap"))
-    [ 2; 3; 4; 6; 8 ];
+    growth.cells;
   section "Sweep 3: Theorem 4 regimes (LB d+min{eps,u,d/3} vs UB d+eps)";
   Format.printf "%-26s %10s %10s %10s@." "regime" "LB" "UB" "gap";
   List.iter
@@ -606,11 +650,12 @@ let smoke_section () =
   let module R = Core.Runtime.Make (Spec.Fifo_queue) in
   let t0 = Unix.gettimeofday () in
   let report =
-    R.run ~retain_events:false ~model ~offsets
-      ~delay:(Sim.Net.random_model ~seed:11 model)
-      ~algorithm:(R.Wtlw { x })
-      ~workload:(R.Closed_loop { per_proc = 50; think = rat 1 2; seed = 11 })
-      ()
+    R.run
+      (R.Config.make ~retain_events:false ~model ~offsets
+         ~delay:(Sim.Net.random_model ~seed:11 model)
+         ~algorithm:(R.Wtlw { x })
+         ~workload:(R.Closed_loop { per_proc = 50; think = rat 1 2; seed = 11 })
+         ())
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let linearizable = Option.is_some report.linearization in
@@ -629,6 +674,26 @@ let smoke_section () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Sweep engine: the campaign grid on 1 domain vs N domains.           *)
+
+let sweep_engine_section () =
+  section "Sweep engine: campaign grid, 1 domain vs N domains";
+  let t1 = Lazy.force campaign in
+  let jobs = Stdlib.max 2 (Stdlib.min 4 (Domain.recommended_domain_count ())) in
+  let tn = Sweep.run ~jobs bench_grid in
+  let show label (t : Sweep.t) =
+    let done_, certified, failed, skipped = Sweep.counts t in
+    Format.printf
+      "  jobs=%-2d (%-9s)  %d cells: %d done (%d certified), %d failed, %d skipped  wall %.3fs@."
+      t.jobs label (Array.length t.cells) done_ certified failed skipped
+      t.wall_s
+  in
+  show "1 domain" t1;
+  show "N domains" tn;
+  Format.printf "  verdicts byte-identical across domain counts: %b@."
+    (String.equal (Sweep.fingerprint t1) (Sweep.fingerprint tn))
+
+(* ------------------------------------------------------------------ *)
 (* Robustness: the fault-injection matrix (nemesis x recovery).        *)
 
 let robustness_section () =
@@ -637,8 +702,7 @@ let robustness_section () =
     "each case twice: raw (the damage must be flagged) and over the@.";
   Format.printf
     "ack/retransmit channel against d' = d + k*rto (must linearize)@.@.";
-  let module Rob = Core.Robustness.Make (Spec.Fifo_queue) in
-  let cells = Rob.matrix ~model ~x ~seed:1 () in
+  let cells = Sweep.robustness ~jobs:2 ~model ~x ~seed:1 [ packed "queue" ] in
   Format.printf "%a@." Core.Robustness.pp_matrix cells
 
 (* ------------------------------------------------------------------ *)
@@ -651,22 +715,24 @@ let bechamel_section () =
   let run_workload (module T : Spec.Data_type.S) () =
     let module R = Core.Runtime.Make (T) in
     let report =
-      R.run ~check:false ~model ~offsets
-        ~delay:(Sim.Net.random_model ~seed:5 model)
-        ~algorithm:(R.Wtlw { x })
-        ~workload:(R.Closed_loop { per_proc = 6; think = rat 1 2; seed = 5 })
-        ()
+      R.run
+        (R.Config.make ~check:false ~model ~offsets
+           ~delay:(Sim.Net.random_model ~seed:5 model)
+           ~algorithm:(R.Wtlw { x })
+           ~workload:(R.Closed_loop { per_proc = 6; think = rat 1 2; seed = 5 })
+           ())
     in
     ignore report.R.by_kind
   in
   let module RQ = Core.Runtime.Make (Spec.Fifo_queue) in
   let run_algorithm algorithm () =
     let report =
-      RQ.run ~check:false ~model ~offsets
-        ~delay:(Sim.Net.random_model ~seed:5 model)
-        ~algorithm
-        ~workload:(RQ.Closed_loop { per_proc = 6; think = rat 1 2; seed = 5 })
-        ()
+      RQ.run
+        (RQ.Config.make ~check:false ~model ~offsets
+           ~delay:(Sim.Net.random_model ~seed:5 model)
+           ~algorithm
+           ~workload:(RQ.Closed_loop { per_proc = 6; think = rat 1 2; seed = 5 })
+           ())
     in
     ignore report.RQ.by_kind
   in
@@ -738,6 +804,7 @@ let () =
   if want "sweeps" then sweep_section ();
   if want "streaming" then streaming_section ();
   if want "ablations" then ablation_section ();
+  if want "sweep" then sweep_engine_section ();
   if want "robustness" then robustness_section ();
   if want "bechamel" then bechamel_section ();
   Format.printf "@.bench done (%s)@." what

@@ -2,6 +2,7 @@
 
      repro tables      — print Tables 1-5 for chosen model parameters
      repro simulate    — run a workload on a chosen data type/algorithm
+     repro sweep       — run a multicore campaign over the full grid
      repro classify    — print the discovered operation classes (Fig. 11)
      repro claims      — machine-check the proofs' arithmetic claims
      repro ablate      — run the timing-ablation harness
@@ -14,19 +15,22 @@ open Cmdliner
 
 (* ---------------- argument parsing helpers ---------------- *)
 
+let parse_rat s =
+  match String.index_opt s '/' with
+  | None -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Ok (Rat.of_int n)
+      | None -> Error (Printf.sprintf "not a rational: %S" s))
+  | Some i -> (
+      let num = String.sub s 0 i in
+      let den = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt num, int_of_string_opt den) with
+      | Some n, Some d when d <> 0 -> Ok (Rat.make n d)
+      | _ -> Error (Printf.sprintf "not a rational: %S" s))
+
 let rat_conv =
   let parse s =
-    match String.index_opt s '/' with
-    | None -> (
-        match int_of_string_opt (String.trim s) with
-        | Some n -> Ok (Rat.of_int n)
-        | None -> Error (`Msg (Printf.sprintf "not a rational: %S" s)))
-    | Some i -> (
-        let num = String.sub s 0 i in
-        let den = String.sub s (i + 1) (String.length s - i - 1) in
-        match (int_of_string_opt num, int_of_string_opt den) with
-        | Some n, Some d when d <> 0 -> Ok (Rat.make n d)
-        | _ -> Error (`Msg (Printf.sprintf "not a rational: %S" s)))
+    match parse_rat s with Ok r -> Ok r | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, Rat.pp)
 
@@ -69,28 +73,30 @@ let ops_arg =
     value & opt int 10
     & info [ "ops" ] ~docv:"K" ~doc:"Operations per process (closed loop).")
 
+(* Every bundled type, dispatched through its first-class packing — no
+   per-command match arms over a type enum. *)
 let all_types =
-  [
-    ("register", `Register);
-    ("rmw-register", `Rmw);
-    ("queue", `Queue);
-    ("stack", `Stack);
-    ("tree", `Tree);
-    ("set", `Set);
-    ("counter", `Counter);
-    ("priority-queue", `Pqueue);
-    ("log", `Log);
-  ]
+  List.map (fun pt -> (Sweep.Packed_type.key pt, pt)) Sweep.Packed_type.all
+
+let packed_queue = Option.get (Sweep.Packed_type.find "queue")
 
 let type_arg =
-  let all = all_types in
   Arg.(
     value
-    & opt (enum all) `Queue
+    & opt (enum all_types) packed_queue
     & info [ "type"; "t" ] ~docv:"TYPE"
         ~doc:
-          "Data type: register, rmw-register, queue, stack, tree, set or \
-           counter.")
+          (Printf.sprintf "Data type: one of %s."
+             (String.concat ", " Sweep.Packed_type.keys)))
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Evaluate cells on N OCaml domains (1 = inline).  Verdicts are \
+           deterministic: every cell derives its RNG seed from its own \
+           coordinates, so the report is byte-identical for every N.")
 
 let no_retain_arg =
   Arg.(
@@ -137,56 +143,40 @@ let tables_cmd =
 
 (* ---------------- simulate ---------------- *)
 
-let simulate (type s i r) n d u eps x algo seed ops no_retain
-    (module T : Spec.Data_type.S
-      with type state = s
-       and type invocation = i
-       and type response = r) =
-  let model = make_model n d u eps in
-  let x = make_x model x in
-  let module R = Core.Runtime.Make (T) in
-  let algorithm =
-    match algo with
-    | `Wtlw -> R.Wtlw { x }
-    | `Centralized -> R.Centralized
-    | `Tob -> R.Tob
-  in
-  let report =
-    R.run ~model
-      ~retain_events:(not no_retain)
-      ~offsets:(Array.make model.n Rat.zero)
-      ~delay:(Sim.Net.random_model ~seed model)
-      ~algorithm
-      ~workload:
-        (R.Closed_loop { per_proc = ops; think = Rat.make 1 2; seed })
-      ()
-  in
-  Format.printf "model: %a, X = %a, data type: %s@.@." Sim.Model.pp model
-    Rat.pp x T.name;
-  Format.printf "%a@." R.pp_report report;
-  (* Exit nonzero on any failed verification — truncation, pending
-     operations, inadmissible delays or skew, or no linearization — so
-     CI can gate on simulation outcomes. *)
-  if R.ok report then `Ok ()
-  else
-    `Error
-      ( false,
-        "run failed verification (pending operations, truncation, \
-         inadmissible delays/skew, or no linearization)" )
-
 let simulate_cmd =
-  let run n d u eps x algo seed ops no_retain dtype =
-    let go m = simulate n d u eps x algo seed ops no_retain m in
-    match dtype with
-    | `Register -> go (module Spec.Register)
-    | `Rmw -> go (module Spec.Rmw_register)
-    | `Queue -> go (module Spec.Fifo_queue)
-    | `Stack -> go (module Spec.Stack_type)
-    | `Tree -> go (module Spec.Tree_type)
-    | `Set -> go (module Spec.Set_type)
-    | `Counter -> go (module Spec.Counter_type)
-    | `Pqueue -> go (module Spec.Priority_queue)
-    | `Log -> go (module Spec.Log_type)
+  let run n d u eps x algo seed ops no_retain pt =
+    let model = make_model n d u eps in
+    let x = make_x model x in
+    let (module T : Spec.Data_type.S) = Sweep.Packed_type.modl pt in
+    let module R = Core.Runtime.Make (T) in
+    let algorithm =
+      match algo with
+      | `Wtlw -> R.Wtlw { x }
+      | `Centralized -> R.Centralized
+      | `Tob -> R.Tob
+    in
+    let report =
+      R.run
+        (R.Config.make ~model
+           ~retain_events:(not no_retain)
+           ~offsets:(Array.make model.n Rat.zero)
+           ~delay:(Sim.Net.random_model ~seed model)
+           ~algorithm
+           ~workload:(R.Closed_loop { per_proc = ops; think = Rat.make 1 2; seed })
+           ())
+    in
+    Format.printf "model: %a, X = %a, data type: %s@.@." Sim.Model.pp model
+      Rat.pp x T.name;
+    Format.printf "%a@." R.pp_report report;
+    (* Exit nonzero on any failed verification — truncation, pending
+       operations, inadmissible delays or skew, or no linearization — so
+       CI can gate on simulation outcomes. *)
+    if R.ok report then `Ok ()
+    else
+      `Error
+        ( false,
+          "run failed verification (pending operations, truncation, \
+           inadmissible delays/skew, or no linearization)" )
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -213,13 +203,12 @@ let classify (type s i r)
     (C.report u)
 
 let classify_cmd =
-  let run dtype =
-    (match dtype with
-    | `Register -> classify (module Spec.Register) []
-    | `Rmw -> classify (module Spec.Rmw_register) []
-    | `Queue -> classify (module Spec.Fifo_queue) []
-    | `Stack -> classify (module Spec.Stack_type) []
-    | `Tree ->
+  let run pt =
+    (* The tree needs handcrafted contexts for witnesses the random
+       pool may miss; every other type classifies from the default
+       universe of its packed module. *)
+    (match Sweep.Packed_type.key pt with
+    | "tree" ->
         classify
           (module Spec.Tree_type)
           Spec.Tree_type.
@@ -227,10 +216,9 @@ let classify_cmd =
               [ Insert (1, 0); Insert (2, 1); Insert (3, 2) ];
               [ Insert (1, 0); Insert (2, 0); Insert (3, 0); Insert (5, 0) ];
             ]
-    | `Set -> classify (module Spec.Set_type) []
-    | `Counter -> classify (module Spec.Counter_type) []
-    | `Pqueue -> classify (module Spec.Priority_queue) []
-    | `Log -> classify (module Spec.Log_type) []);
+    | _ ->
+        let (module T : Spec.Data_type.S) = Sweep.Packed_type.modl pt in
+        classify (module T) []);
     `Ok ()
   in
   Cmd.v
@@ -418,32 +406,19 @@ let faults_cmd =
             "Run the matrix for a single data type (default: queue and \
              register).")
   in
-  let run n d u eps x seed json dtype =
+  let run n d u eps x seed json jobs dtype =
     let model = make_model n d u eps in
     let x = make_x model x in
-    let matrix_of (type s i r)
-        (module T : Spec.Data_type.S
-          with type state = s
-           and type invocation = i
-           and type response = r) =
-      let module M = Core.Robustness.Make (T) in
-      M.matrix ~model ~x ~seed ()
-    in
-    let run_target = function
-      | `Register -> matrix_of (module Spec.Register)
-      | `Rmw -> matrix_of (module Spec.Rmw_register)
-      | `Queue -> matrix_of (module Spec.Fifo_queue)
-      | `Stack -> matrix_of (module Spec.Stack_type)
-      | `Tree -> matrix_of (module Spec.Tree_type)
-      | `Set -> matrix_of (module Spec.Set_type)
-      | `Counter -> matrix_of (module Spec.Counter_type)
-      | `Pqueue -> matrix_of (module Spec.Priority_queue)
-      | `Log -> matrix_of (module Spec.Log_type)
-    in
     let targets =
-      match dtype with Some t -> [ t ] | None -> [ `Queue; `Register ]
+      match dtype with
+      | Some pt -> [ pt ]
+      | None ->
+          [ packed_queue; Option.get (Sweep.Packed_type.find "register") ]
     in
-    let cells = List.concat_map run_target targets in
+    (* The matrix is a sweep: one pool job per (type, case) cell, with
+       unchanged certification semantics and a jobs-independent
+       verdict. *)
+    let cells = Sweep.robustness ~jobs ~model ~x ~seed targets in
     if json then Format.printf "%a@." Core.Robustness.pp_json cells
     else begin
       Format.printf "model: %a, X = %a@.@." Sim.Model.pp model Rat.pp x;
@@ -466,7 +441,144 @@ let faults_cmd =
     Term.(
       ret
         (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ seed_arg
-       $ json_arg $ faults_type_arg))
+       $ json_arg $ jobs_arg $ faults_type_arg))
+
+(* ---------------- sweep ---------------- *)
+
+(* Grid spec: semicolon-separated model points, each a comma-separated
+   "k=v" list, e.g. "n=3,d=10,u=4,eps=1;n=4,d=8,u=2" (eps defaults to
+   the optimal (1-1/n)u). *)
+let parse_grid_points spec =
+  let parse_point s =
+    let kvs = String.split_on_char ',' (String.trim s) in
+    let rec gather acc = function
+      | [] -> Ok acc
+      | kv :: rest -> (
+          match String.index_opt kv '=' with
+          | None -> Error (Printf.sprintf "bad grid entry %S (want k=v)" kv)
+          | Some i -> (
+              let k = String.trim (String.sub kv 0 i) in
+              let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+              match parse_rat v with
+              | Error msg -> Error msg
+              | Ok r -> gather ((k, r) :: acc) rest))
+    in
+    match gather [] kvs with
+    | Error msg -> Error msg
+    | Ok kvs -> (
+        let find k = List.assoc_opt k kvs in
+        match (find "n", find "d", find "u") with
+        | Some n, Some d, Some u when Rat.den n = 1 -> (
+            let n = Rat.num n in
+            try
+              Ok
+                (match find "eps" with
+                | Some eps -> Sim.Model.make ~n ~d ~u ~eps
+                | None -> Sim.Model.make_optimal_eps ~n ~d ~u)
+            with Invalid_argument msg -> Error msg)
+        | _ ->
+            Error
+              (Printf.sprintf "grid point %S needs integer n plus d and u" s))
+  in
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match parse_point s with
+        | Error msg -> Error msg
+        | Ok m -> all (m :: acc) rest)
+  in
+  match String.split_on_char ';' spec with
+  | [] -> Error "empty grid spec"
+  | points -> all [] points
+
+let sweep_cmd =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Write the full JSON artifact (per-cell verdicts, latency \
+             summaries, worst observed latency vs the bound formula) to \
+             $(docv).")
+  in
+  let sweep_type_arg =
+    Arg.(
+      value
+      & opt (some (enum all_types)) None
+      & info [ "type"; "t" ] ~docv:"TYPE"
+          ~doc:"Restrict the grid to a single data type (default: all ten).")
+  in
+  let grid_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "grid" ] ~docv:"SPEC"
+          ~doc:
+            "Model points as semicolon-separated comma lists, e.g. \
+             'n=3,d=10,u=4,eps=1;n=4,d=8,u=2' (eps defaults to the optimal \
+             (1-1/n)u).  Default: the reference points n=3,d=10,u=4,eps=1 \
+             and n=4,d=8,u=2,eps=1/2.")
+  in
+  let fail_fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-fast" ]
+          ~doc:
+            "Cancel unclaimed cells after the first failure (in-flight \
+             cells still complete and are reported; cancelled ones are \
+             listed as skipped).")
+  in
+  let sweep_ops_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "ops" ] ~docv:"K"
+          ~doc:"Operations per process in each cell (closed loop).")
+  in
+  let run jobs json_path dtype grid_spec fail_fast seed ops =
+    let grid =
+      { Sweep.default_grid with per_proc = ops; seeds = [ seed ] }
+    in
+    let grid =
+      match dtype with None -> grid | Some pt -> { grid with types = [ pt ] }
+    in
+    match
+      match grid_spec with
+      | None -> Ok grid
+      | Some spec -> (
+          match parse_grid_points spec with
+          | Ok points -> Ok { grid with points }
+          | Error msg -> Error msg)
+    with
+    | Error msg -> `Error (true, msg)
+    | Ok grid ->
+        let t = Sweep.run ~jobs ~fail_fast grid in
+        Format.printf "%a@." Sweep.pp t;
+        (match json_path with
+        | None -> ()
+        | Some path ->
+            let oc = open_out path in
+            let ppf = Format.formatter_of_out_channel oc in
+            Format.fprintf ppf "%a@." Sweep.pp_json t;
+            close_out oc;
+            Format.printf "wrote %s@." path);
+        if Sweep.certified t then `Ok ()
+        else `Error (false, "sweep has uncertified cells")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Evaluate the full campaign grid — data type x algorithm \
+          (wtlw/centralized/tob) x model point x raw/recovered channel leg \
+          — sharded across a pool of OCaml domains.  Every cell runs the \
+          workload end-to-end, machine-checks linearizability, and judges \
+          the worst observed latency of each operation class against the \
+          paper's bound formula.  Exits nonzero unless every cell is \
+          certified.")
+    Term.(
+      ret
+        (const run $ jobs_arg $ json_arg $ sweep_type_arg $ grid_arg
+       $ fail_fast_arg $ seed_arg $ sweep_ops_arg))
 
 (* ---------------- finding ---------------- *)
 
@@ -512,6 +624,7 @@ let main =
     [
       tables_cmd;
       simulate_cmd;
+      sweep_cmd;
       analyze_cmd;
       classify_cmd;
       claims_cmd;

@@ -13,9 +13,11 @@ let () =
   List.iter
     (fun algorithm ->
       let report =
-        R.run ~model ~offsets ~delay ~algorithm
-          ~workload:(R.Closed_loop { per_proc = 12; think = rat 1 2; seed = 7 })
-          ()
+        R.run
+          (R.Config.make ~model ~offsets ~delay ~algorithm
+             ~workload:
+               (R.Closed_loop { per_proc = 12; think = rat 1 2; seed = 7 })
+             ())
       in
       Format.printf "%a@." R.pp_report report;
       assert (R.ok report))

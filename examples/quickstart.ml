@@ -31,12 +31,16 @@ let () =
   let x = rat 2 1 in
 
   (* Every process performs 8 operations, invoking the next one half a
-     time unit after the previous response (closed loop). *)
+     time unit after the previous response (closed loop).  A run is
+     described by one declarative [Config.t] record and executed with
+     [Runtime.run]. *)
   let report =
-    Runtime.run ~model ~offsets ~delay
-      ~algorithm:(Runtime.Wtlw { x })
-      ~workload:(Runtime.Closed_loop { per_proc = 8; think = rat 1 2; seed = 7 })
-      ()
+    Runtime.run
+      (Runtime.Config.make ~model ~offsets ~delay
+         ~algorithm:(Runtime.Wtlw { x })
+         ~workload:
+           (Runtime.Closed_loop { per_proc = 8; think = rat 1 2; seed = 7 })
+         ())
   in
 
   Format.printf "%a@." Runtime.pp_report report;
@@ -58,10 +62,11 @@ let () =
   List.iter
     (fun algorithm ->
       let r =
-        Runtime.run ~model ~offsets ~delay ~algorithm
-          ~workload:
-            (Runtime.Closed_loop { per_proc = 8; think = rat 1 2; seed = 7 })
-          ()
+        Runtime.run
+          (Runtime.Config.make ~model ~offsets ~delay ~algorithm
+             ~workload:
+               (Runtime.Closed_loop { per_proc = 8; think = rat 1 2; seed = 7 })
+             ())
       in
       Format.printf "  %-24s" r.algorithm;
       List.iter

@@ -50,6 +50,31 @@ module Acc = struct
           max = acc.max;
           mean = Rat.div_int acc.sum acc.count;
         }
+
+  (* Fold a finished summary into the accumulator.  The summary's sum
+     is recovered exactly as [mean * count] (rationals), so absorbing
+     is associative and commutative: merging per-domain accumulators at
+     the sweep barrier yields the same totals whatever the partition of
+     cells across domains was. *)
+  let absorb acc (s : summary) =
+    if s.count > 0 then begin
+      let sum = Rat.mul_int s.mean s.count in
+      if acc.count = 0 then begin
+        acc.min <- s.min;
+        acc.max <- s.max;
+        acc.sum <- sum;
+        acc.count <- s.count
+      end
+      else begin
+        acc.min <- Rat.min acc.min s.min;
+        acc.max <- Rat.max acc.max s.max;
+        acc.sum <- Rat.add acc.sum sum;
+        acc.count <- acc.count + s.count
+      end
+    end
+
+  let merge acc other =
+    match summary other with None -> () | Some s -> absorb acc s
 end
 
 (* Keyed streaming accumulators, preserving first-seen key order. *)
@@ -77,6 +102,20 @@ module Grouped = struct
     List.rev_map
       (fun k -> (k, Option.get (Acc.summary (Hashtbl.find g.table k))))
       g.rev_order
+
+  let absorb g k (s : summary) =
+    let acc =
+      match Hashtbl.find_opt g.table k with
+      | Some acc -> acc
+      | None ->
+          let acc = Acc.create () in
+          Hashtbl.add g.table k acc;
+          g.rev_order <- k :: g.rev_order;
+          acc
+    in
+    Acc.absorb acc s
+
+  let merge g other = List.iter (fun (k, s) -> absorb g k s) (summaries other)
 end
 
 let summarize = function

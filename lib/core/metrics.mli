@@ -23,6 +23,16 @@ module Acc : sig
 
   val summary : t -> summary option
   (** [None] before the first {!add}. *)
+
+  val absorb : t -> summary -> unit
+  (** Fold a finished summary into the accumulator exactly (the
+      summary's rational sum is recovered as [mean * count]).
+      Associative and commutative, so per-domain accumulators merged at
+      a barrier give partition-independent totals. *)
+
+  val merge : t -> t -> unit
+  (** [merge acc other] absorbs [other]'s current summary into [acc];
+      [other] is left untouched. *)
 end
 
 (** Keyed streaming accumulators (one {!Acc} per key), preserving
@@ -36,6 +46,14 @@ module Grouped : sig
 
   val summaries : 'k t -> ('k * summary) list
   (** In first-seen key order. *)
+
+  val absorb : 'k t -> 'k -> summary -> unit
+  (** Keyed {!Acc.absorb}. *)
+
+  val merge : 'k t -> 'k t -> unit
+  (** Absorb every keyed summary of the second accumulator into the
+      first (first-seen order of the target is extended by the source's
+      unseen keys). *)
 end
 
 val summarize : Rat.t list -> summary option

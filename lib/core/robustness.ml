@@ -107,6 +107,41 @@ let pp_matrix ppf cells =
     (List.length (List.filter (fun c -> c.certified) cells))
     (List.length cells)
 
+(* An injected fault can break a protocol invariant outright instead
+   of merely corrupting the outcome — e.g. a duplicated reply in the
+   centralized algorithm answers an operation that is no longer
+   pending and the engine raises.  That too is detection. *)
+let aborted_leg msg =
+  {
+    ok = false;
+    flagged = true;
+    pending = 0;
+    delays_admissible = false;
+    skew_admissible = false;
+    linearizable = false;
+    truncated = false;
+    faults = Sim.Trace.no_faults;
+    error = Some msg;
+    retransmits = 0;
+    exhausted = 0;
+  }
+
+let cell_of_legs ~data_type (case : case) ~raw ~recovered =
+  let certified =
+    match case.expectation with
+    | Recover -> recovered.ok
+    | Detect -> raw.flagged
+  in
+  {
+    data_type;
+    case = case.label;
+    plan = Sim.Fault.describe case.plan;
+    expectation = case.expectation;
+    raw;
+    recovered;
+    certified;
+  }
+
 let json_string s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
@@ -165,71 +200,33 @@ module Make (T : Spec.Data_type.S) = struct
         (match r.channel with None -> 0 | Some c -> c.stats.Reliable.exhausted);
     }
 
-  (* An injected fault can break a protocol invariant outright instead
-     of merely corrupting the outcome — e.g. a duplicated reply in the
-     centralized algorithm answers an operation that is no longer
-     pending and the engine raises.  That too is detection. *)
-  let aborted_leg msg =
-    {
-      ok = false;
-      flagged = true;
-      pending = 0;
-      delays_admissible = false;
-      skew_admissible = false;
-      linearizable = false;
-      truncated = false;
-      faults = Sim.Trace.no_faults;
-      error = Some msg;
-      retransmits = 0;
-      exhausted = 0;
-    }
+  (* One leg of a cell: the algorithm either straight on the faulty
+     network ([recovered = false]) or over the reliable channel judged
+     against the inflated model ([recovered = true]).  Both legs of a
+     cell share the workload, the delay schedule and the fault plan. *)
+  let run_leg ?config ?(per_proc = 3) ~(model : Sim.Model.t) ~x ~seed
+      ~recovered plan =
+    let cfg =
+      R.Config.make ~faults:plan ~max_events:500_000 ~model
+        ~offsets:(Array.make model.n Rat.zero)
+        ~delay:(Sim.Net.random_model ~seed model)
+        ~algorithm:(R.Wtlw { x })
+        ~workload:(R.Closed_loop { per_proc; think = Rat.make 1 2; seed })
+        ()
+    in
+    let cfg = if recovered then R.Config.reliable ?config cfg else cfg in
+    match R.run cfg with
+    | r -> leg_of_report r
+    | exception Invalid_argument msg -> aborted_leg msg
+    | exception Assert_failure _ -> aborted_leg "assertion failure"
 
-  let run_cell ?config ?(per_proc = 3) ~(model : Sim.Model.t) ~x ~seed
+  let cell_of_legs (case : case) ~raw ~recovered =
+    cell_of_legs ~data_type:T.name case ~raw ~recovered
+
+  let run_cell ?config ?per_proc ~(model : Sim.Model.t) ~x ~seed
       (case : case) =
-    let offsets = Array.make model.n Rat.zero in
-    let workload =
-      R.Closed_loop { per_proc; think = Rat.make 1 2; seed }
+    let leg recovered =
+      run_leg ?config ?per_proc ~model ~x ~seed ~recovered case.plan
     in
-    let algorithm = R.Wtlw { x } in
-    let raw =
-      match
-        R.run ~faults:case.plan ~max_events:500_000 ~model ~offsets
-          ~delay:(Sim.Net.random_model ~seed model)
-          ~algorithm ~workload ()
-      with
-      | r -> leg_of_report r
-      | exception Invalid_argument msg -> aborted_leg msg
-      | exception Assert_failure _ -> aborted_leg "assertion failure"
-    in
-    let recovered =
-      match
-        R.run_reliable ?config ~faults:case.plan ~max_events:500_000 ~model
-          ~offsets
-          ~delay:(Sim.Net.random_model ~seed model)
-          ~algorithm ~workload ()
-      with
-      | r -> leg_of_report r
-      | exception Invalid_argument msg -> aborted_leg msg
-      | exception Assert_failure _ -> aborted_leg "assertion failure"
-    in
-    let certified =
-      match case.expectation with
-      | Recover -> recovered.ok
-      | Detect -> raw.flagged
-    in
-    {
-      data_type = T.name;
-      case = case.label;
-      plan = Sim.Fault.describe case.plan;
-      expectation = case.expectation;
-      raw;
-      recovered;
-      certified;
-    }
-
-  let matrix ?config ?cases ?per_proc ~model ~x ~seed () =
-    let cases =
-      match cases with Some c -> c | None -> default_cases ~seed model
-    in
-    List.map (run_cell ?config ?per_proc ~model ~x ~seed) cases
+    cell_of_legs case ~raw:(leg false) ~recovered:(leg true)
 end

@@ -69,6 +69,15 @@ type cell = {
 val all_certified : cell list -> bool
 (** No cell missing, no cell failed: every listed cell is certified. *)
 
+val aborted_leg : string -> leg
+(** The leg of a run that died on a protocol violation (or never ran):
+    flagged, with the diagnostic in [error]. *)
+
+val cell_of_legs : data_type:string -> case -> raw:leg -> recovered:leg -> cell
+(** Combine the two legs of a case into a cell, applying the
+    certification semantics (crash = detect on the raw leg, the rest =
+    recover on the reliable leg). *)
+
 val pp_cell : Format.formatter -> cell -> unit
 val pp_matrix : Format.formatter -> cell list -> unit
 
@@ -79,6 +88,26 @@ val pp_json : Format.formatter -> cell list -> unit
 module Make (T : Spec.Data_type.S) : sig
   module R : module type of Runtime.Make (T)
 
+  val run_leg :
+    ?config:Reliable.config ->
+    ?per_proc:int ->
+    model:Sim.Model.t ->
+    x:Rat.t ->
+    seed:int ->
+    recovered:bool ->
+    Sim.Fault.plan ->
+    leg
+  (** One leg of a cell on a closed-loop workload ([per_proc]
+      operations per process, default 3): raw ([recovered = false]) or
+      over the reliable channel against the inflated model
+      ([recovered = true]).  Both legs of a cell share the workload,
+      the delay schedule and the fault plan. *)
+
+  val cell_of_legs : case -> raw:leg -> recovered:leg -> cell
+  (** Combine the two legs of a case into a cell, applying the
+      certification semantics (crash = detect on the raw leg, the rest
+      = recover on the reliable leg). *)
+
   val run_cell :
     ?config:Reliable.config ->
     ?per_proc:int ->
@@ -87,19 +116,9 @@ module Make (T : Spec.Data_type.S) : sig
     seed:int ->
     case ->
     cell
-  (** Run the raw and recovered legs of one cell on a closed-loop
-      workload ([per_proc] operations per process, default 3) with the
-      given seed; both legs share the workload, the delay schedule and
-      the fault plan. *)
+  (** Both legs of one cell, sequentially.
 
-  val matrix :
-    ?config:Reliable.config ->
-    ?cases:case list ->
-    ?per_proc:int ->
-    model:Sim.Model.t ->
-    x:Rat.t ->
-    seed:int ->
-    unit ->
-    cell list
-  (** {!run_cell} over [cases] (default {!default_cases}). *)
+      The full matrix driver lives in [Sweep.robustness]: each
+      (case, data type) cell is a sweep cell sharded across the domain
+      pool, which is how [repro faults] gets [--jobs N]. *)
 end

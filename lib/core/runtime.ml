@@ -1,7 +1,23 @@
 (** End-to-end harness: build a cluster running a chosen algorithm,
     drive a workload through it, and distill the trace into a report —
     completed operations, a machine-checked linearization, and latency
-    summaries per operation and per class. *)
+    summaries per operation and per class.
+
+    There is a single entry point, [run : Config.t -> report]: the
+    [Config] record names every knob (checking, event retention, fault
+    plan, step limit, reliable-channel leg, model, offsets, delay,
+    algorithm, workload), so the sweep engine, the CLI, the bench and
+    the robustness matrix all describe a run the same way. *)
+
+(* The algorithm choice does not depend on the data type, so it lives
+   outside the functor — the sweep engine enumerates algorithms without
+   instantiating anything. *)
+type algorithm = Wtlw of { x : Rat.t } | Centralized | Tob
+
+let algorithm_name = function
+  | Wtlw { x } -> Printf.sprintf "wtlw(X=%s)" (Rat.to_string x)
+  | Centralized -> "centralized"
+  | Tob -> "total-order-broadcast"
 
 module Make (T : Spec.Data_type.S) = struct
   module Sem = Spec.Data_type.Semantics (T)
@@ -10,19 +26,16 @@ module Make (T : Spec.Data_type.S) = struct
   module Centralized_impl = Centralized.Make (T)
   module Tob_impl = Tob.Make (T)
 
-  type algorithm = Wtlw of { x : Rat.t } | Centralized | Tob
+  type nonrec algorithm = algorithm = Wtlw of { x : Rat.t } | Centralized | Tob
 
-  let algorithm_name = function
-    | Wtlw { x } -> Printf.sprintf "wtlw(X=%s)" (Rat.to_string x)
-    | Centralized -> "centralized"
-    | Tob -> "total-order-broadcast"
+  let algorithm_name = algorithm_name
 
   type workload =
     | Schedule of T.invocation Workload.entry list
     | Closed_loop of { per_proc : int; think : Rat.t; seed : int }
 
   (* Description of the reliable channel a run was layered over, when
-     it was ([run_reliable]): the retransmission config, the inflated
+     [Config.channel] was set: the retransmission config, the inflated
      model the report was checked against, and the live channel
      counters. *)
   type channel = {
@@ -46,6 +59,49 @@ module Make (T : Spec.Data_type.S) = struct
     truncated : bool;
     channel : channel option;
   }
+
+  module Config = struct
+    type t = {
+      check : bool;
+      retain_events : bool;
+      faults : Sim.Fault.plan;
+      max_events : int option;
+      max_check_nodes : int option;
+      channel : Reliable.config option;
+      model : Sim.Model.t;
+      offsets : Rat.t array;
+      delay : Sim.Net.t;
+      algorithm : algorithm;
+      workload : workload;
+    }
+
+    let make ?(check = true) ?(retain_events = true)
+        ?(faults = Sim.Fault.none) ?max_events ?max_check_nodes ?channel
+        ~model ~offsets ~delay ~algorithm ~workload () =
+      {
+        check;
+        retain_events;
+        faults;
+        max_events;
+        max_check_nodes;
+        channel;
+        model;
+        offsets;
+        delay;
+        algorithm;
+        workload;
+      }
+
+    let reliable ?config cfg =
+      {
+        cfg with
+        channel =
+          Some
+            (match config with
+            | Some c -> c
+            | None -> Reliable.default_config cfg.model);
+      }
+  end
 
   let kind_of inv = Sem.kind_of inv
 
@@ -105,9 +161,9 @@ module Make (T : Spec.Data_type.S) = struct
      the step limit is not lost: the sinks hold everything up to the
      truncation point, so the report is returned with
      [truncated = true] (and typically [pending > 0]). *)
-  let report_of_run (type m g) ?max_events ?channel ~(model : Sim.Model.t)
-      ~algorithm ~check (engine : (m, g, T.invocation, T.response) Sim.Engine.t)
-      workload =
+  let report_of_run (type m g) ?max_events ?max_check_nodes ?channel
+      ~(model : Sim.Model.t) ~algorithm ~check
+      (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
     let trace = Sim.Engine.trace engine in
     let by_op_acc = Metrics.Grouped.create () in
     let by_kind_acc = Metrics.Grouped.create () in
@@ -124,7 +180,9 @@ module Make (T : Spec.Data_type.S) = struct
     {
       algorithm;
       operations;
-      linearization = (if check then Checker.check operations else None);
+      linearization =
+        (if check then Checker.check ?max_nodes:max_check_nodes operations
+         else None);
       by_op = Metrics.Grouped.summaries by_op_acc;
       by_kind = Metrics.Grouped.summaries by_kind_acc;
       messages = Sim.Trace.send_count trace;
@@ -138,41 +196,45 @@ module Make (T : Spec.Data_type.S) = struct
       channel;
     }
 
-  let run ?(check = true) ?retain_events ?faults ?max_events
-      ~(model : Sim.Model.t) ~offsets ~delay ~algorithm ~workload () =
+  (* Direct leg: the algorithm straight on the configured network,
+     judged against the configured model. *)
+  let run_direct (cfg : Config.t) =
+    let { Config.model; offsets; delay; algorithm; workload; _ } = cfg in
     let name = algorithm_name algorithm in
+    let finish (type m g)
+        (engine : (m, g, T.invocation, T.response) Sim.Engine.t) =
+      report_of_run ?max_events:cfg.max_events
+        ?max_check_nodes:cfg.max_check_nodes ~model ~algorithm:name
+        ~check:cfg.check engine workload
+    in
+    let retain_events = cfg.retain_events and faults = cfg.faults in
     match algorithm with
     | Wtlw { x } ->
         let cluster =
-          Wtlw_impl.create ?retain_events ?faults ~model ~x ~offsets ~delay ()
+          Wtlw_impl.create ~retain_events ~faults ~model ~x ~offsets ~delay ()
         in
-        report_of_run ?max_events ~model ~algorithm:name ~check cluster.engine
-          workload
+        finish cluster.engine
     | Centralized ->
         let cluster =
-          Centralized_impl.create ?retain_events ?faults ~model ~offsets
+          Centralized_impl.create ~retain_events ~faults ~model ~offsets
             ~delay ()
         in
-        report_of_run ?max_events ~model ~algorithm:name ~check cluster.engine
-          workload
+        finish cluster.engine
     | Tob ->
         let cluster =
-          Tob_impl.create ?retain_events ?faults ~model ~offsets ~delay ()
+          Tob_impl.create ~retain_events ~faults ~model ~offsets ~delay ()
         in
-        report_of_run ?max_events ~model ~algorithm:name ~check cluster.engine
-          workload
+        finish cluster.engine
 
-  (* Run an algorithm unmodified over the reliable channel
-     ([Reliable.wrap]) on a faulty network, and judge the result
-     against the inflated model [d' = d + retry budget] the channel
-     implements.  The report's admissibility/skew verdicts, the
+  (* Recovered leg: run the algorithm unmodified over the reliable
+     channel ([Reliable.wrap]) on a faulty network, and judge the
+     result against the inflated model [d' = d + retry budget] the
+     channel implements.  The report's admissibility/skew verdicts, the
      algorithm's internal timing, and the checker all use that inflated
      model — this is the "recovered" leg of the robustness matrix. *)
-  let run_reliable ?(check = true) ?retain_events ?(faults = Sim.Fault.none)
-      ?max_events ?config ~(model : Sim.Model.t) ~offsets ~delay ~algorithm
-      ~workload () =
-    let config =
-      match config with Some c -> c | None -> Reliable.default_config model
+  let run_recovered (cfg : Config.t) config =
+    let { Config.model; offsets; delay; algorithm; workload; faults; _ } =
+      cfg
     in
     let effective =
       Reliable.inflated_model ~extra_skew:(Sim.Fault.extra_skew faults)
@@ -181,13 +243,14 @@ module Make (T : Spec.Data_type.S) = struct
     let name = algorithm_name algorithm ^ "+reliable" in
     let finish (type m g)
         (engine : (m, g, T.invocation, T.response) Sim.Engine.t) stats =
-      report_of_run ?max_events
+      report_of_run ?max_events:cfg.max_events
+        ?max_check_nodes:cfg.max_check_nodes
         ~channel:{ config; effective; stats }
-        ~model:effective ~algorithm:name ~check engine workload
+        ~model:effective ~algorithm:name ~check:cfg.check engine workload
     in
     let create_engine handlers =
-      Sim.Engine.create ?retain_events ~faults ~model:effective ~offsets
-        ~delay ~handlers ()
+      Sim.Engine.create ~retain_events:cfg.retain_events ~faults
+        ~model:effective ~offsets ~delay ~handlers ()
     in
     match algorithm with
     | Wtlw { x } ->
@@ -196,7 +259,7 @@ module Make (T : Spec.Data_type.S) = struct
             (Rat.in_range ~lo:Rat.zero
                ~hi:(Rat.sub effective.d effective.eps)
                x)
-        then invalid_arg "Runtime.run_reliable: X outside [0, d' - eps']";
+        then invalid_arg "Runtime.run: X outside [0, d' - eps']";
         let states = Wtlw_impl.fresh_states ~n:effective.n in
         let timing = Wtlw.default_timing effective ~x in
         let handlers, stats =
@@ -217,6 +280,27 @@ module Make (T : Spec.Data_type.S) = struct
             (Tob_impl.protocol ~model:effective states)
         in
         finish (create_engine handlers) stats
+
+  let run (cfg : Config.t) =
+    match cfg.channel with
+    | None -> run_direct cfg
+    | Some config -> run_recovered cfg config
+
+  (* Deprecated entry points, kept as thin wrappers over the [Config]
+     API for out-of-tree callers. *)
+
+  let run_legacy ?check ?retain_events ?faults ?max_events
+      ~(model : Sim.Model.t) ~offsets ~delay ~algorithm ~workload () =
+    run
+      (Config.make ?check ?retain_events ?faults ?max_events ~model ~offsets
+         ~delay ~algorithm ~workload ())
+
+  let run_reliable ?check ?retain_events ?faults ?max_events ?config
+      ~(model : Sim.Model.t) ~offsets ~delay ~algorithm ~workload () =
+    run
+      (Config.reliable ?config
+         (Config.make ?check ?retain_events ?faults ?max_events ~model
+            ~offsets ~delay ~algorithm ~workload ()))
 
   (* A run is accepted when every operation completed, the run was not
      truncated, delays and clock skew were admissible, and a

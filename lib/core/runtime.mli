@@ -1,13 +1,25 @@
 (** End-to-end harness: build a cluster running a chosen algorithm,
     drive a workload through it, and distill the trace into a report —
     completed operations, a machine-checked linearization, and latency
-    summaries per operation and per class. *)
+    summaries per operation and per class.
+
+    The single entry point is {!Make.run}, which takes a
+    {!Make.Config.t} record naming every knob of a run.  The historical
+    [run_legacy]/[run_reliable] optional-argument entry points remain
+    as deprecated thin wrappers. *)
+
+type algorithm =
+  | Wtlw of { x : Rat.t }  (** the paper's Algorithm 1 (repaired timing) *)
+  | Centralized  (** folklore: forward everything to [p_0] *)
+  | Tob  (** folklore: clock-based total-order broadcast *)
+
+val algorithm_name : algorithm -> string
 
 module Make (T : Spec.Data_type.S) : sig
   module Sem : module type of Spec.Data_type.Semantics (T)
   module Checker : module type of Lin.Checker.Make (T)
 
-  type algorithm =
+  type nonrec algorithm = algorithm =
     | Wtlw of { x : Rat.t }  (** the paper's Algorithm 1 (repaired timing) *)
     | Centralized  (** folklore: forward everything to [p_0] *)
     | Tob  (** folklore: clock-based total-order broadcast *)
@@ -23,7 +35,7 @@ module Make (T : Spec.Data_type.S) : sig
             invoked [think] after the previous response *)
 
   (** Description of the reliable channel a run was layered over
-      ({!run_reliable}): its retransmission config, the inflated model
+      ([Config.channel]): its retransmission config, the inflated model
       the report was judged against, and the channel counters. *)
   type channel = {
     config : Reliable.config;
@@ -51,12 +63,74 @@ module Make (T : Spec.Data_type.S) : sig
     truncated : bool;
         (** the run hit the step limit; the report summarizes the
             prefix up to that point *)
-    channel : channel option;  (** present for {!run_reliable} runs *)
+    channel : channel option;  (** present for reliable-channel runs *)
   }
+
+  (** Everything that defines one run, in one declarative record. *)
+  module Config : sig
+    type t = {
+      check : bool;  (** run the linearizability checker (default true) *)
+      retain_events : bool;
+          (** keep the per-message event list in memory (default true);
+              with [false] the report is built entirely from the
+              trace's streaming sinks *)
+      faults : Sim.Fault.plan;  (** injected nemesis (default none) *)
+      max_events : int option;
+          (** engine step limit; an exceeded run is returned as a
+              partial report with [truncated = true] *)
+      max_check_nodes : int option;
+          (** DFS node budget for the checker; an exceeded search
+              raises {!Lin.Checker.Node_budget_exceeded} so a
+              pathological cell aborts with a named diagnostic instead
+              of hanging *)
+      channel : Reliable.config option;
+          (** [Some config]: wrap the algorithm's handlers in the
+              {!Reliable} ack/retransmit channel and judge the whole
+              run — internal timing, admissibility monitor, {!ok} —
+              against [Reliable.inflated_model] ([d' = d + k * rto] by
+              default, [eps] widened by the plan's injected skew).
+              [None]: the algorithm runs directly on the network. *)
+      model : Sim.Model.t;
+      offsets : Rat.t array;
+      delay : Sim.Net.t;
+      algorithm : algorithm;
+      workload : workload;
+    }
+
+    val make :
+      ?check:bool ->
+      ?retain_events:bool ->
+      ?faults:Sim.Fault.plan ->
+      ?max_events:int ->
+      ?max_check_nodes:int ->
+      ?channel:Reliable.config ->
+      model:Sim.Model.t ->
+      offsets:Rat.t array ->
+      delay:Sim.Net.t ->
+      algorithm:algorithm ->
+      workload:workload ->
+      unit ->
+      t
+
+    val reliable : ?config:Reliable.config -> t -> t
+    (** Set the [channel] field; [config] defaults to
+        [Reliable.default_config] of the record's model. *)
+  end
 
   val kind_of : T.invocation -> Spec.Op_kind.t
 
-  val run :
+  val run : Config.t -> report
+  (** Build, drive to quiescence, and summarize in one pass over the
+      trace's streaming sinks.  Counts, latency summaries, pairing and
+      admissibility are identical with [retain_events] on or off.
+      Injected faults show up in the report's [faults] counters and its
+      admissibility / pending / linearization verdicts.  A run
+      exceeding [max_events] is returned as a partial report with
+      [truncated = true] rather than raising.
+      @raise Lin.Checker.Node_budget_exceeded when [max_check_nodes]
+      is set and the linearizability search exceeds it. *)
+
+  val run_legacy :
     ?check:bool ->
     ?retain_events:bool ->
     ?faults:Sim.Fault.plan ->
@@ -68,18 +142,9 @@ module Make (T : Spec.Data_type.S) : sig
     workload:workload ->
     unit ->
     report
-  (** Build, drive to quiescence, and summarize in one pass over the
-      trace's streaming sinks.  [check] (default true) controls whether
-      the linearizability checker runs.  [retain_events] (default true)
-      is forwarded to the engine; with [false] the run keeps no
-      per-message event in memory and the report is built entirely from
-      the incremental sinks — counts, latency summaries, pairing and
-      admissibility are identical to a retained run.  [faults] injects
-      a {!Sim.Fault} plan; the resulting damage shows up in the
-      report's [faults] counters and its admissibility / pending /
-      linearization verdicts.  A run exceeding [max_events] (default
-      engine limit) is returned as a partial report with
-      [truncated = true] rather than raising. *)
+    [@@deprecated "use run (Config.make ...)"]
+  (** Thin wrapper over {!run} with the pre-[Config] calling
+      convention. *)
 
   val run_reliable :
     ?check:bool ->
@@ -94,15 +159,9 @@ module Make (T : Spec.Data_type.S) : sig
     workload:workload ->
     unit ->
     report
-  (** Like {!run}, but the algorithm's handlers are wrapped in the
-      {!Reliable} ack/retransmit channel and the whole run — the
-      algorithm's internal timing, the admissibility monitor, and
-      {!ok} — is judged against the channel's inflated model
-      [Reliable.inflated_model] ([d' = d + k * rto] by default, [eps]
-      widened by the plan's injected skew).  [config] defaults to
-      [Reliable.default_config model].  The report's [channel] field
-      records the config, the inflated model and the live channel
-      stats.  This is the "recovered" leg of [Robustness]. *)
+    [@@deprecated "use run (Config.reliable (Config.make ...))"]
+  (** Thin wrapper over {!run} with [Config.channel] set ([config]
+      defaults to [Reliable.default_config model]). *)
 
   val report_of_trace :
     ?skew_admissible:bool ->

@@ -12,7 +12,18 @@
     specification, and recurse.  Visited (remaining-set, state) pairs
     are memoized, which keeps the search polynomial for the
     low-concurrency histories our simulator produces (at most one
-    pending operation per process). *)
+    pending operation per process).
+
+    States are {e interned}: the canonical rendering [T.show_state] is
+    produced once per distinct reached state and mapped to a small
+    integer id, so the memo key is an [(int list * int)] pair and DFS
+    revisits neither re-render nor re-hash state strings.  Transitions
+    [(state id, op index)] are cached too, so [T.apply] runs once per
+    distinct (state, operation) pair over the whole search. *)
+
+exception Node_budget_exceeded of int
+(* Raised outside the functor so every instantiation shares the one
+   constructor and generic drivers (the sweep engine) can catch it. *)
 
 module Make (T : Spec.Data_type.S) = struct
   type op = (T.invocation, T.response) Sim.Trace.operation
@@ -24,20 +35,55 @@ module Make (T : Spec.Data_type.S) = struct
   (* [a] precedes [b] when [a] responds strictly before [b] is invoked. *)
   let precedes (a : op) (b : op) = Rat.lt a.resp_time b.inv_time
 
-  let check (ops : op list) : op list option =
+  let check ?max_nodes (ops : op list) : op list option =
     let arr = Array.of_list ops in
     let total = Array.length arr in
-    (* Memo key: the remaining index set (kept sorted — it is only ever
-       filtered from the sorted [0..total-1]) paired with the canonical
-       state rendering.  Structured, so hashing needs no intermediate
-       O(n)-sized concatenated string per DFS node. *)
-    let dead : (int list * string, unit) Hashtbl.t = Hashtbl.create 97 in
-    let key remaining state = (remaining, T.show_state state) in
-    let rec dfs remaining state acc =
+    (* State interning: canonical rendering -> dense id.  [T.show_state]
+       runs once per distinct state; everything downstream works with
+       the id. *)
+    let ids : (string, int) Hashtbl.t = Hashtbl.create 97 in
+    let states : (int, T.state) Hashtbl.t = Hashtbl.create 97 in
+    let intern state =
+      let rendered = T.show_state state in
+      match Hashtbl.find_opt ids rendered with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length ids in
+          Hashtbl.add ids rendered id;
+          Hashtbl.add states id state;
+          id
+    in
+    (* Transition cache: (state id, op index) -> successor state id when
+       the recorded response matches the specification, [None] when it
+       does not.  Each distinct transition applies (and renders) once. *)
+    let transitions : (int * int, int option) Hashtbl.t = Hashtbl.create 97 in
+    let step sid i =
+      let key = (sid, i) in
+      match Hashtbl.find_opt transitions key with
+      | Some cached -> cached
+      | None ->
+          let op = arr.(i) in
+          let state', resp = T.apply (Hashtbl.find states sid) op.inv in
+          let result =
+            if T.equal_response resp op.resp then Some (intern state')
+            else None
+          in
+          Hashtbl.add transitions key result;
+          result
+    in
+    (* Memo of dead search nodes: remaining index set (kept sorted — it
+       is only ever filtered from the sorted [0..total-1]) paired with
+       the interned state id. *)
+    let dead : (int list * int, unit) Hashtbl.t = Hashtbl.create 97 in
+    let nodes = ref 0 in
+    let budget = match max_nodes with Some b -> b | None -> max_int in
+    let rec dfs remaining sid acc =
       match remaining with
       | [] -> Some (List.rev acc)
       | _ ->
-          let k = key remaining state in
+          incr nodes;
+          if !nodes > budget then raise (Node_budget_exceeded !nodes);
+          let k = (remaining, sid) in
           if Hashtbl.mem dead k then None
           else begin
             let minimal i =
@@ -48,13 +94,13 @@ module Make (T : Spec.Data_type.S) = struct
             let try_first i =
               if not (minimal i) then None
               else
-                let op = arr.(i) in
-                let state', resp = T.apply state op.inv in
-                if T.equal_response resp op.resp then
-                  dfs
-                    (List.filter (fun j -> j <> i) remaining)
-                    state' (op :: acc)
-                else None
+                match step sid i with
+                | None -> None
+                | Some sid' ->
+                    dfs
+                      (List.filter (fun j -> j <> i) remaining)
+                      sid'
+                      (arr.(i) :: acc)
             in
             match List.find_map try_first remaining with
             | Some _ as witness -> witness
@@ -63,11 +109,14 @@ module Make (T : Spec.Data_type.S) = struct
                 None
           end
     in
-    dfs (List.init total Fun.id) T.initial []
+    dfs (List.init total Fun.id) (intern T.initial) []
 
-  let is_linearizable ops = Option.is_some (check ops)
+  let is_linearizable ?max_nodes ops = Option.is_some (check ?max_nodes ops)
 
   (* Convenience: check a whole trace produced by the engine. *)
-  let check_trace trace = check (Sim.Trace.operations trace)
-  let trace_linearizable trace = Option.is_some (check_trace trace)
+  let check_trace ?max_nodes trace =
+    check ?max_nodes (Sim.Trace.operations trace)
+
+  let trace_linearizable ?max_nodes trace =
+    Option.is_some (check_trace ?max_nodes trace)
 end

@@ -6,7 +6,20 @@
     real-time order of non-overlapping operations.  Wing-Gong style
     DFS with (remaining-set, state) memoization; intended for the
     low-concurrency histories the simulator produces (at most one
-    pending operation per process). *)
+    pending operation per process).
+
+    States are interned (the canonical [show_state] rendering is
+    produced once per distinct state, and memo keys hash a small
+    integer id instead of the rendered string) and (state, operation)
+    transitions are cached, so [apply] runs once per distinct
+    transition over the whole search. *)
+
+exception Node_budget_exceeded of int
+(** Raised by {!Make.check} when [max_nodes] is set and the DFS visits
+    more nodes than the budget: the payload is the node count at abort.
+    Declared outside {!Make} so the one constructor is shared by every
+    instantiation — generic drivers (e.g. the sweep engine) can catch
+    it without knowing the data type. *)
 
 module Make (T : Spec.Data_type.S) : sig
   type op = (T.invocation, T.response) Sim.Trace.operation
@@ -16,14 +29,20 @@ module Make (T : Spec.Data_type.S) : sig
   val precedes : op -> op -> bool
   (** [precedes a b]: [a] responds strictly before [b] is invoked. *)
 
-  val check : op list -> op list option
+  val check : ?max_nodes:int -> op list -> op list option
   (** A witness linearization, or [None].  Histories must be complete
-      (every operation has both times). *)
+      (every operation has both times).
+      @raise Node_budget_exceeded when [max_nodes] is set and the
+      search exceeds it — a pathological history aborts with a named
+      diagnostic instead of hanging. *)
 
-  val is_linearizable : op list -> bool
+  val is_linearizable : ?max_nodes:int -> op list -> bool
 
   val check_trace :
-    ('msg, T.invocation, T.response) Sim.Trace.t -> op list option
+    ?max_nodes:int ->
+    ('msg, T.invocation, T.response) Sim.Trace.t ->
+    op list option
 
-  val trace_linearizable : ('msg, T.invocation, T.response) Sim.Trace.t -> bool
+  val trace_linearizable :
+    ?max_nodes:int -> ('msg, T.invocation, T.response) Sim.Trace.t -> bool
 end

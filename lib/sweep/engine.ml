@@ -1,0 +1,503 @@
+(* Multicore sweep engine: evaluate a declarative campaign grid —
+   data type x algorithm x model point x fault plan x channel leg x
+   seed — by sharding cells across a fixed domain pool (Pool).
+
+   Determinism contract: a cell's behaviour is a pure function of its
+   coordinates.  The per-cell RNG seed is derived by hashing the cell's
+   canonical key string (FNV-1a), never from the claiming domain or the
+   wall clock, so verdicts — and, because Metrics.Acc merging is exact
+   rational arithmetic, the merged campaign summaries — are identical
+   for every --jobs count.  Only [wall_s] and [jobs] vary, and both are
+   excluded from {!fingerprint}. *)
+
+module Metrics = Core.Metrics
+
+(* Algorithm axis of the grid.  Wtlw's tradeoff parameter is declared
+   as a fraction of [d - eps] so one grid entry stays valid at every
+   model point (Lemma 4 requires X in [0, d - eps]). *)
+type algo =
+  | Wtlw of { frac : Rat.t }
+  | Centralized
+  | Tob
+
+let algo_label = function
+  | Wtlw { frac } -> Printf.sprintf "wtlw(%s)" (Rat.to_string frac)
+  | Centralized -> "centralized"
+  | Tob -> "tob"
+
+let resolve_x (m : Sim.Model.t) = function
+  | Wtlw { frac } -> Rat.mul frac (Rat.sub m.d m.eps)
+  | Centralized | Tob -> Rat.zero
+
+let runtime_algo (m : Sim.Model.t) = function
+  | Wtlw _ as a -> Core.Runtime.Wtlw { x = resolve_x m a }
+  | Centralized -> Core.Runtime.Centralized
+  | Tob -> Core.Runtime.Tob
+
+type channel_leg = Raw | Recovered
+
+let leg_label = function Raw -> "raw" | Recovered -> "recovered"
+
+(* Delay-schedule axis: random admissible delays (seeded from the cell
+   coordinates), or the all-max / all-min adversarial schedules the
+   table measurements use to realize worst cases. *)
+type delays = Random_delays | Max_delays | Min_delays
+
+let delays_label = function
+  | Random_delays -> "random"
+  | Max_delays -> "max"
+  | Min_delays -> "min"
+
+type grid = {
+  types : Packed_type.t list;
+  algos : algo list;
+  points : Sim.Model.t list;
+  delays : delays list;
+  plans : (string * Sim.Fault.plan) list;
+  legs : channel_leg list;
+  seeds : int list;
+  per_proc : int;
+  max_events : int;
+  max_check_nodes : int option;
+}
+
+let default_points =
+  [
+    Sim.Model.make ~n:3 ~d:(Rat.of_int 10) ~u:(Rat.of_int 4) ~eps:Rat.one;
+    Sim.Model.make ~n:4 ~d:(Rat.of_int 8) ~u:(Rat.of_int 2)
+      ~eps:(Rat.make 1 2);
+  ]
+
+(* The reference grid of the acceptance criteria: every bundled type,
+   all three algorithms, two model points, both channel legs. *)
+let default_grid =
+  {
+    types = Packed_type.all;
+    algos = [ Wtlw { frac = Rat.make 1 2 }; Centralized; Tob ];
+    points = default_points;
+    delays = [ Random_delays ];
+    plans = [ ("none", Sim.Fault.none) ];
+    legs = [ Raw; Recovered ];
+    seeds = [ 1 ];
+    per_proc = 2;
+    max_events = 500_000;
+    max_check_nodes = Some 5_000_000;
+  }
+
+type cell = {
+  dt : Packed_type.t;
+  algo : algo;
+  point : Sim.Model.t;
+  delays : delays;
+  plan_label : string;
+  plan : Sim.Fault.plan;
+  leg : channel_leg;
+  seed : int;  (** the grid's base seed; the run uses {!derived_seed} *)
+}
+
+let cells grid =
+  List.concat_map
+    (fun dt ->
+      List.concat_map
+        (fun algo ->
+          List.concat_map
+            (fun point ->
+              List.concat_map
+                (fun delays ->
+                  List.concat_map
+                    (fun (plan_label, plan) ->
+                      List.concat_map
+                        (fun leg ->
+                          List.map
+                            (fun seed ->
+                              {
+                                dt;
+                                algo;
+                                point;
+                                delays;
+                                plan_label;
+                                plan;
+                                leg;
+                                seed;
+                              })
+                            grid.seeds)
+                        grid.legs)
+                    grid.plans)
+                grid.delays)
+            grid.points)
+        grid.algos)
+    grid.types
+
+(* Canonical cell coordinates.  This string is both the human-readable
+   cell id in reports and the input to the seed hash, so it must name
+   every axis that can change the run. *)
+let cell_key grid (c : cell) =
+  let m = c.point in
+  Printf.sprintf
+    "type=%s;algo=%s;n=%d;d=%s;u=%s;eps=%s;delays=%s;faults=%s;leg=%s;seed=%d;per_proc=%d"
+    (Packed_type.key c.dt) (algo_label c.algo) m.n (Rat.to_string m.d)
+    (Rat.to_string m.u) (Rat.to_string m.eps) (delays_label c.delays)
+    c.plan_label (leg_label c.leg) c.seed grid.per_proc
+
+(* FNV-1a, 32-bit.  Not [Hashtbl.hash]: that function is not specified
+   across OCaml versions, and derived seeds must be stable so recorded
+   fingerprints stay comparable. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun ch -> h := (!h lxor Char.code ch) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let derived_seed grid c = fnv1a (cell_key grid c)
+
+(* Per-cell verdict: the run's health, its latency shape, and the
+   worst observed latency of each class against the Table 5 formula for
+   the cell's algorithm, judged against the model the run actually
+   implemented (the inflated model for recovered legs). *)
+type verdict = {
+  key : string;
+  run_seed : int;
+  ok : bool;
+  bound_ok : bool;
+  certified : bool;  (** [ok && bound_ok] *)
+  operations : int;
+  messages : int;
+  events : int;
+  pending : int;
+  truncated : bool;
+  retransmits : int;
+  latency : Metrics.summary option;
+  by_op : (string * Metrics.summary) list;
+  by_kind : (Spec.Op_kind.t * Metrics.summary) list;
+  bounds : (Spec.Op_kind.t * Rat.t * Rat.t) list;
+      (** (class, worst observed, upper bound) *)
+}
+
+let bound_for ~algo ~(judged : Sim.Model.t) ~x kind =
+  match algo with
+  | Wtlw _ -> (
+      match kind with
+      | Spec.Op_kind.Pure_accessor -> Bounds.Theorems.ub_pure_accessor judged ~x
+      | Spec.Op_kind.Pure_mutator -> Bounds.Theorems.ub_pure_mutator judged ~x
+      | Spec.Op_kind.Mixed -> Bounds.Theorems.ub_mixed judged)
+  | Centralized -> Bounds.Theorems.ub_centralized judged
+  | Tob -> Bounds.Theorems.ub_tob judged
+
+let eval grid (c : cell) : (verdict, string) result =
+  let key = cell_key grid c in
+  let seed = derived_seed grid c in
+  let m = c.point in
+  let (module T : Spec.Data_type.S) = Packed_type.modl c.dt in
+  let module R = Core.Runtime.Make (T) in
+  let delay =
+    match c.delays with
+    | Random_delays -> Sim.Net.random_model ~seed m
+    | Max_delays -> Sim.Net.max_delay_model m
+    | Min_delays -> Sim.Net.min_delay_model m
+  in
+  let cfg =
+    R.Config.make ~faults:c.plan ~max_events:grid.max_events
+      ?max_check_nodes:grid.max_check_nodes ~model:m
+      ~offsets:(Array.make m.n Rat.zero)
+      ~delay
+      ~algorithm:(runtime_algo m c.algo)
+      ~workload:
+        (R.Closed_loop { per_proc = grid.per_proc; think = Rat.make 1 2; seed })
+      ()
+  in
+  let cfg = match c.leg with Raw -> cfg | Recovered -> R.Config.reliable cfg in
+  match R.run cfg with
+  | exception Lin.Checker.Node_budget_exceeded n ->
+      Error
+        (Printf.sprintf
+           "%s: linearizability search aborted after %d nodes \
+            (max_check_nodes)"
+           key n)
+  | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" key msg)
+  | report ->
+      let judged =
+        match report.channel with Some ch -> ch.effective | None -> m
+      in
+      let x = resolve_x m c.algo in
+      let bounds =
+        List.map
+          (fun (kind, (s : Metrics.summary)) ->
+            (kind, s.max, bound_for ~algo:c.algo ~judged ~x kind))
+          report.by_kind
+      in
+      let bound_ok =
+        List.for_all (fun (_, worst, ub) -> Rat.le worst ub) bounds
+      in
+      let lat = Metrics.Acc.create () in
+      List.iter (fun (_, s) -> Metrics.Acc.absorb lat s) report.by_kind;
+      let ok = R.ok report in
+      Ok
+        {
+          key;
+          run_seed = seed;
+          ok;
+          bound_ok;
+          certified = ok && bound_ok;
+          operations = List.length report.operations;
+          messages = report.messages;
+          events = report.events;
+          pending = report.pending;
+          truncated = report.truncated;
+          retransmits =
+            (match report.channel with
+            | None -> 0
+            | Some ch -> ch.stats.Core.Reliable.retransmits);
+          latency = Metrics.Acc.summary lat;
+          by_op = report.by_op;
+          by_kind = report.by_kind;
+          bounds;
+        }
+
+(* Domain-local streaming aggregation, merged at the barrier.  The
+   per-domain accumulators see different cell subsets depending on the
+   partition, but Acc/Grouped merging is exact and commutative, so the
+   merged totals are partition-independent. *)
+type local = {
+  lat : Metrics.Acc.t;
+  kinds : Spec.Op_kind.t Metrics.Grouped.t;
+}
+
+type t = {
+  grid : grid;
+  cells : cell array;
+  results : verdict Pool.outcome array;
+  total : Metrics.summary option;
+  by_kind : (Spec.Op_kind.t * Metrics.summary) list;  (** sorted by class *)
+  jobs : int;
+  wall_s : float;
+}
+
+let run ?(jobs = 1) ?(fail_fast = false) grid =
+  let cells = Array.of_list (cells grid) in
+  let t0 = Unix.gettimeofday () in
+  let results, locals =
+    Pool.map ~jobs ~fail_fast ~n:(Array.length cells)
+      ~init:(fun () ->
+        { lat = Metrics.Acc.create (); kinds = Metrics.Grouped.create () })
+      ~f:(fun local i ->
+        match eval grid cells.(i) with
+        | Ok v ->
+            (match v.latency with
+            | Some s -> Metrics.Acc.absorb local.lat s
+            | None -> ());
+            List.iter
+              (fun (k, s) -> Metrics.Grouped.absorb local.kinds k s)
+              v.by_kind;
+            Ok v
+        | Error _ as e -> e)
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let lat = Metrics.Acc.create () in
+  let kinds = Metrics.Grouped.create () in
+  List.iter
+    (fun l ->
+      Metrics.Acc.merge lat l.lat;
+      Metrics.Grouped.merge kinds l.kinds)
+    locals;
+  let by_kind =
+    (* Grouped preserves first-seen order, which depends on the
+       partition; sort by class name for a deterministic report. *)
+    List.sort
+      (fun (a, _) (b, _) ->
+        compare (Spec.Op_kind.to_string a) (Spec.Op_kind.to_string b))
+      (Metrics.Grouped.summaries kinds)
+  in
+  { grid; cells; results; total = Metrics.Acc.summary lat; by_kind; jobs; wall_s }
+
+let certified t =
+  Array.length t.results > 0
+  && Array.for_all
+       (function Pool.Done v -> v.certified | Pool.Failed _ | Pool.Skipped -> false)
+       t.results
+
+let counts t =
+  let done_ = ref 0 and failed = ref 0 and skipped = ref 0 and cert = ref 0 in
+  Array.iter
+    (function
+      | Pool.Done v ->
+          incr done_;
+          if v.certified then incr cert
+      | Pool.Failed _ -> incr failed
+      | Pool.Skipped -> incr skipped)
+    t.results;
+  (!done_, !cert, !failed, !skipped)
+
+(* ---------- deterministic fingerprint ---------- *)
+
+let summary_str (s : Metrics.summary) =
+  Printf.sprintf "count=%d min=%s max=%s mean=%s" s.count (Rat.to_string s.min)
+    (Rat.to_string s.max) (Rat.to_string s.mean)
+
+let fingerprint t =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i c ->
+      Buffer.add_string buf (cell_key t.grid c);
+      Buffer.add_string buf " => ";
+      (match t.results.(i) with
+      | Pool.Skipped -> Buffer.add_string buf "skipped"
+      | Pool.Failed msg -> Buffer.add_string buf ("failed: " ^ msg)
+      | Pool.Done v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s ops=%d messages=%d events=%d pending=%d%s"
+               (if v.certified then "certified"
+                else if v.ok then "bound-violation"
+                else "flagged")
+               v.operations v.messages v.events v.pending
+               (match v.latency with
+               | None -> ""
+               | Some s -> " " ^ summary_str s)));
+      Buffer.add_char buf '\n')
+    t.cells;
+  (match t.total with
+  | None -> ()
+  | Some s -> Buffer.add_string buf ("total: " ^ summary_str s ^ "\n"));
+  List.iter
+    (fun (k, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: %s\n" (Spec.Op_kind.to_string k) (summary_str s)))
+    t.by_kind;
+  Buffer.contents buf
+
+(* ---------- reports ---------- *)
+
+let pp ppf t =
+  let done_, cert, failed, skipped = counts t in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i c ->
+      let verdict =
+        match t.results.(i) with
+        | Pool.Skipped -> "SKIPPED"
+        | Pool.Failed _ -> "FAILED"
+        | Pool.Done v ->
+            if v.certified then "certified"
+            else if v.ok then "BOUND-VIOLATION"
+            else "FLAGGED"
+      in
+      Format.fprintf ppf "%-16s %s@," verdict (cell_key t.grid c))
+    t.cells;
+  (match t.total with
+  | None -> ()
+  | Some s ->
+      Format.fprintf ppf "latency over %d operations: %a@," s.count
+        Metrics.pp_summary s);
+  Format.fprintf ppf
+    "%d cells: %d done (%d certified), %d failed, %d skipped; jobs=%d \
+     wall=%.2fs@]"
+    (Array.length t.cells) done_ cert failed skipped t.jobs t.wall_s
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_json_summary ppf (s : Metrics.summary) =
+  Format.fprintf ppf
+    "{\"count\":%d,\"min\":\"%s\",\"max\":\"%s\",\"mean\":\"%s\"}" s.count
+    (Rat.to_string s.min) (Rat.to_string s.max) (Rat.to_string s.mean)
+
+let pp_json_verdict ppf (v : verdict) =
+  Format.fprintf ppf
+    "{\"status\":\"done\",\"seed\":%d,\"ok\":%b,\"bound_ok\":%b,\"certified\":%b,\"operations\":%d,\"messages\":%d,\"events\":%d,\"pending\":%d,\"truncated\":%b,\"retransmits\":%d"
+    v.run_seed v.ok v.bound_ok v.certified v.operations v.messages v.events
+    v.pending v.truncated v.retransmits;
+  (match v.latency with
+  | None -> ()
+  | Some s -> Format.fprintf ppf ",\"latency\":%a" pp_json_summary s);
+  Format.fprintf ppf ",\"bounds\":[";
+  List.iteri
+    (fun i (k, worst, ub) ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf
+        "{\"class\":\"%s\",\"worst\":\"%s\",\"bound\":\"%s\",\"within\":%b}"
+        (Spec.Op_kind.to_string k) (Rat.to_string worst) (Rat.to_string ub)
+        (Rat.le worst ub))
+    v.bounds;
+  Format.fprintf ppf "]}"
+
+let pp_json ppf t =
+  let done_, cert, failed, skipped = counts t in
+  Format.fprintf ppf "{\"cells\":[";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "{\"key\":\"%s\",\"verdict\":" (json_string (cell_key t.grid c));
+      (match t.results.(i) with
+      | Pool.Skipped -> Format.fprintf ppf "{\"status\":\"skipped\"}"
+      | Pool.Failed msg ->
+          Format.fprintf ppf "{\"status\":\"failed\",\"error\":\"%s\"}"
+            (json_string msg)
+      | Pool.Done v -> pp_json_verdict ppf v);
+      Format.fprintf ppf "}")
+    t.cells;
+  Format.fprintf ppf "],\"summary\":{";
+  (match t.total with
+  | None -> ()
+  | Some s -> Format.fprintf ppf "\"latency\":%a," pp_json_summary s);
+  Format.fprintf ppf "\"by_kind\":[";
+  List.iteri
+    (fun i (k, s) ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "{\"class\":\"%s\",\"latency\":%a}"
+        (Spec.Op_kind.to_string k) pp_json_summary s)
+    t.by_kind;
+  Format.fprintf ppf
+    "],\"done\":%d,\"certified_cells\":%d,\"failed\":%d,\"skipped\":%d},\"jobs\":%d,\"wall_s\":%.3f,\"certified\":%b}"
+    done_ cert failed skipped t.jobs t.wall_s (certified t)
+
+(* ---------- robustness matrix on the pool ---------- *)
+
+(* The full (data type x nemesis case) robustness matrix, one pool job
+   per cell.  A cell's outcome depends only on its coordinates (both
+   legs reuse the caller's seed, exactly as the old sequential driver
+   did), so the matrix is identical for every [jobs] count and is
+   always returned in (type, case) order.  fail_fast is deliberately
+   not offered: certification semantics require every cell's verdict. *)
+let robustness ?(jobs = 1) ?config ?per_proc ~model ~x ~seed types =
+  let work =
+    Array.of_list
+      (List.concat_map
+         (fun dt ->
+           List.map
+             (fun case -> (dt, case))
+             (Core.Robustness.default_cases ~seed model))
+         types)
+  in
+  let results, _ =
+    Pool.map ~jobs ~fail_fast:false ~n:(Array.length work)
+      ~init:(fun () -> ())
+      ~f:(fun () i ->
+        let dt, case = work.(i) in
+        let (module T : Spec.Data_type.S) = Packed_type.modl dt in
+        let module M = Core.Robustness.Make (T) in
+        Ok (M.run_cell ?config ?per_proc ~model ~x ~seed case))
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i outcome ->
+         match outcome with
+         | Pool.Done cell -> cell
+         | Pool.Failed msg ->
+             let dt, case = work.(i) in
+             let leg = Core.Robustness.aborted_leg msg in
+             Core.Robustness.cell_of_legs ~data_type:(Packed_type.spec_name dt)
+               case ~raw:leg ~recovered:leg
+         | Pool.Skipped ->
+             let dt, case = work.(i) in
+             let leg = Core.Robustness.aborted_leg "skipped" in
+             Core.Robustness.cell_of_legs ~data_type:(Packed_type.spec_name dt)
+               case ~raw:leg ~recovered:leg)
+       results)

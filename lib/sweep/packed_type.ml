@@ -1,0 +1,38 @@
+(* First-class packing of the bundled data types.
+
+   [Spec.Data_type.S] bundles the sequential specification with its
+   generators ([gen_invocation], [sample_invocations]), so a packed
+   module is everything the sweep engine, the CLI and the bench need to
+   run a workload — dispatch is a list lookup plus one functor
+   application, with no per-type match arms at every call site. *)
+
+type t = { key : string; modl : (module Spec.Data_type.S) }
+
+let pack key modl = { key; modl }
+let key t = t.key
+let modl t = t.modl
+
+let spec_name t =
+  let (module T : Spec.Data_type.S) = t.modl in
+  T.name
+
+(* The product type exercises multi-object locality (paper §2.3)
+   through the single-object machinery. *)
+module Product_queue_register = Spec.Product.Make (Spec.Fifo_queue) (Spec.Register)
+
+let all =
+  [
+    pack "register" (module Spec.Register);
+    pack "rmw-register" (module Spec.Rmw_register);
+    pack "queue" (module Spec.Fifo_queue);
+    pack "stack" (module Spec.Stack_type);
+    pack "tree" (module Spec.Tree_type);
+    pack "set" (module Spec.Set_type);
+    pack "counter" (module Spec.Counter_type);
+    pack "priority-queue" (module Spec.Priority_queue);
+    pack "log" (module Spec.Log_type);
+    pack "product" (module Product_queue_register);
+  ]
+
+let keys = List.map key all
+let find k = List.find_opt (fun t -> t.key = k) all

@@ -1,0 +1,58 @@
+(* Fixed domain pool over an indexed work queue.
+
+   The queue is an atomic cursor into [0 .. n-1]: each worker claims
+   the next unclaimed index with [fetch_and_add], evaluates it, and
+   writes the outcome into its own slot of the results array — distinct
+   slots, so no synchronization beyond the final [Domain.join] (which
+   establishes the happens-before edge the main domain needs to read
+   the array).  The queue is bounded by construction: at most [jobs]
+   cells are in flight, nothing is buffered.
+
+   Cancellation ([fail_fast]): the first [Error] (or escaped exception)
+   raises a shared stop flag; workers re-check the flag before claiming
+   the next index, so in-flight cells complete and are reported while
+   unclaimed cells are left [Skipped] — a prompt stop with no lost
+   reports.
+
+   Determinism: a worker's behaviour depends only on the index it
+   claims (callers derive any randomness from the cell's coordinates,
+   never from [Domain.self ()]), so the outcome array is identical for
+   any [jobs] count; only the partition of indices across domains — and
+   therefore the content of each domain-local state — varies.  With
+   [jobs = 1] everything runs inline on the calling domain. *)
+
+type 'a outcome = Done of 'a | Failed of string | Skipped
+
+let outcome_ok = function Done _ -> true | Failed _ | Skipped -> false
+
+let map (type l r) ~jobs ~fail_fast ~n ~(init : unit -> l)
+    ~(f : l -> int -> (r, string) result) : r outcome array * l list =
+  let jobs = if jobs < 1 then 1 else jobs in
+  let results = Array.make n Skipped in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let worker () =
+    let local = init () in
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f local i with
+          | Ok v -> results.(i) <- Done v
+          | Error msg ->
+              results.(i) <- Failed msg;
+              if fail_fast then Atomic.set stop true
+          | exception exn ->
+              results.(i) <- Failed (Printexc.to_string exn);
+              if fail_fast then Atomic.set stop true);
+          loop ()
+        end
+      end
+    in
+    loop ();
+    local
+  in
+  if jobs = 1 then (results, [ worker () ])
+  else
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    (results, Array.to_list (Array.map Domain.join domains))

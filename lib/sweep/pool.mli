@@ -1,0 +1,29 @@
+(** Fixed domain pool over a bounded, indexed work queue.
+
+    [map ~jobs ~fail_fast ~n ~init ~f] evaluates [f local i] for every
+    [i] in [0 .. n-1], sharding indices across [jobs] OCaml domains
+    (inline on the calling domain when [jobs = 1]).  Each domain gets
+    its own [init ()] local state (e.g. streaming metric accumulators);
+    the locals are returned for the caller to merge at the barrier.
+
+    Outcomes are positional: escaped exceptions become [Failed] with
+    the exception's rendering.  Under [fail_fast], the first failure
+    stops the pool promptly — in-flight cells complete and keep their
+    outcome, unclaimed cells are left [Skipped]; no report is lost.
+
+    [f]'s behaviour must depend only on its index (derive randomness
+    from the work item's coordinates, never from [Domain.self ()]); the
+    outcome array is then identical for every [jobs] count. *)
+
+type 'a outcome = Done of 'a | Failed of string | Skipped
+
+val outcome_ok : 'a outcome -> bool
+
+val map :
+  jobs:int ->
+  fail_fast:bool ->
+  n:int ->
+  init:(unit -> 'l) ->
+  f:('l -> int -> ('r, string) result) ->
+  'r outcome array * 'l list
+(** The locals list has one entry per domain, in domain order. *)

@@ -1,0 +1,3 @@
+module Pool = Pool
+module Packed_type = Packed_type
+include Engine

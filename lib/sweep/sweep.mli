@@ -1,0 +1,178 @@
+(** Multicore sweep engine behind the unified [Runtime.Config] API.
+
+    A {e sweep} evaluates a declarative campaign {!grid} — data type x
+    algorithm x model point x fault plan x channel leg x seed — by
+    sharding cells across a fixed pool of OCaml domains ({!Pool}).
+    Each cell builds one [Runtime.Config.t], runs it, and is judged
+    both end-to-end ([Runtime.ok]) and against the paper's Table 5
+    upper-bound formula for its class and algorithm.
+
+    {b Determinism.}  A cell's behaviour is a pure function of its
+    coordinates: the per-cell RNG seed is {!derived_seed}, an FNV-1a
+    hash of the canonical {!cell_key} — never the claiming domain or
+    the wall clock — and campaign summaries are merged with exact
+    rational arithmetic.  {!fingerprint} is therefore byte-identical
+    for every [--jobs] count; only [wall_s] and [jobs] vary, and both
+    are excluded from it. *)
+
+module Pool = Pool
+module Packed_type = Packed_type
+
+(** {1 Grid axes} *)
+
+(** Algorithm axis.  Wtlw's tradeoff parameter is a fraction of
+    [d - eps], so one entry stays valid at every model point (Lemma 4
+    requires X in [[0, d - eps]]). *)
+type algo =
+  | Wtlw of { frac : Rat.t }
+  | Centralized
+  | Tob
+
+val algo_label : algo -> string
+val resolve_x : Sim.Model.t -> algo -> Rat.t
+(** The concrete X at a model point ([frac * (d - eps)]; zero for the
+    baselines). *)
+
+type channel_leg =
+  | Raw  (** the algorithm straight on the network *)
+  | Recovered
+      (** wrapped in the {!Core.Reliable} channel and judged against
+          the inflated model *)
+
+val leg_label : channel_leg -> string
+
+(** Delay-schedule axis: seeded random admissible delays, or the
+    all-max / all-min adversarial schedules the table measurements use
+    to realize worst cases. *)
+type delays = Random_delays | Max_delays | Min_delays
+
+val delays_label : delays -> string
+
+type grid = {
+  types : Packed_type.t list;
+  algos : algo list;
+  points : Sim.Model.t list;
+  delays : delays list;
+  plans : (string * Sim.Fault.plan) list;  (** labelled fault plans *)
+  legs : channel_leg list;
+  seeds : int list;
+  per_proc : int;  (** closed-loop operations per process *)
+  max_events : int;
+  max_check_nodes : int option;
+      (** DFS budget per cell; an exceeded search fails the cell with a
+          named diagnostic instead of hanging the sweep *)
+}
+
+val default_points : Sim.Model.t list
+
+val default_grid : grid
+(** The reference grid: all ten bundled types x three algorithms x two
+    model points x raw/recovered, fault-free, one seed. *)
+
+type cell = {
+  dt : Packed_type.t;
+  algo : algo;
+  point : Sim.Model.t;
+  delays : delays;
+  plan_label : string;
+  plan : Sim.Fault.plan;
+  leg : channel_leg;
+  seed : int;  (** the grid's base seed; the run uses {!derived_seed} *)
+}
+
+val cells : grid -> cell list
+(** Cartesian product of the grid's axes, in a fixed order (types
+    outermost, seeds innermost). *)
+
+val cell_key : grid -> cell -> string
+(** Canonical coordinates — the cell id in reports and the input to
+    the seed hash. *)
+
+val derived_seed : grid -> cell -> int
+(** FNV-1a (32-bit) of {!cell_key}: stable across OCaml versions and
+    independent of which domain claims the cell. *)
+
+(** {1 Evaluation} *)
+
+(** Per-cell verdict. *)
+type verdict = {
+  key : string;
+  run_seed : int;
+  ok : bool;  (** [Runtime.ok]: complete, admissible, linearizable *)
+  bound_ok : bool;  (** every class's worst latency within its bound *)
+  certified : bool;  (** [ok && bound_ok] *)
+  operations : int;
+  messages : int;
+  events : int;
+  pending : int;
+  truncated : bool;
+  retransmits : int;  (** reliable-channel retransmissions (0 for raw) *)
+  latency : Core.Metrics.summary option;  (** all operations pooled *)
+  by_op : (string * Core.Metrics.summary) list;
+      (** per-operation-name latency summaries (the table rows) *)
+  by_kind : (Spec.Op_kind.t * Core.Metrics.summary) list;
+  bounds : (Spec.Op_kind.t * Rat.t * Rat.t) list;
+      (** (class, worst observed, Table 5 upper bound), judged against
+          the model the run actually implemented — the inflated model
+          for recovered legs *)
+}
+
+val eval : grid -> cell -> (verdict, string) result
+(** Evaluate one cell.  [Error] carries a named diagnostic: the
+    checker's node budget was exceeded, or the configuration was
+    rejected ([Invalid_argument]). *)
+
+(** Campaign result. *)
+type t = {
+  grid : grid;
+  cells : cell array;
+  results : verdict Pool.outcome array;  (** positional, same order *)
+  total : Core.Metrics.summary option;
+      (** merged latency summary over every completed cell *)
+  by_kind : (Spec.Op_kind.t * Core.Metrics.summary) list;
+      (** merged per-class summaries, sorted by class name *)
+  jobs : int;
+  wall_s : float;
+}
+
+val run : ?jobs:int -> ?fail_fast:bool -> grid -> t
+(** Evaluate the whole grid on [jobs] domains (default 1 = inline).
+    Per-domain streaming accumulators are merged at the barrier.  With
+    [fail_fast] the first failed cell cancels unclaimed cells
+    (reported as [Skipped]); in-flight cells still complete and no
+    verdict is lost. *)
+
+val certified : t -> bool
+(** Non-empty, and every cell completed with [verdict.certified]. *)
+
+val counts : t -> int * int * int * int
+(** [(done, certified, failed, skipped)]. *)
+
+val fingerprint : t -> string
+(** Deterministic rendering of every verdict plus the merged
+    summaries; excludes [wall_s] and [jobs], so it is byte-identical
+    across [--jobs] counts. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_json : Format.formatter -> t -> unit
+(** The [BENCH_sweep.json] artifact: per-cell verdicts, latency
+    summaries, worst observed latency vs the bound formula, aggregate
+    certification. *)
+
+(** {1 Robustness matrix} *)
+
+val robustness :
+  ?jobs:int ->
+  ?config:Core.Reliable.config ->
+  ?per_proc:int ->
+  model:Sim.Model.t ->
+  x:Rat.t ->
+  seed:int ->
+  Packed_type.t list ->
+  Core.Robustness.cell list
+(** The full (data type x nemesis case) robustness matrix, one pool
+    job per cell, always in (type, case) order and identical for every
+    [jobs] count.  [fail_fast] is deliberately not offered —
+    certification needs every cell's verdict.  A job that dies becomes
+    an aborted cell (which counts as flagged/detection), never a lost
+    report. *)

@@ -25,9 +25,10 @@ module Agreement (T : Spec.Data_type.S) = struct
         ~gen_invocation:T.gen_invocation ()
     in
     let report =
-      R.run ~check:false ~model ~offsets
-        ~delay:(Sim.Net.random_model ~seed:delay_seed model)
-        ~algorithm ~workload:(R.Schedule schedule) ()
+      R.run
+        (R.Config.make ~check:false ~model ~offsets
+           ~delay:(Sim.Net.random_model ~seed:delay_seed model)
+           ~algorithm ~workload:(R.Schedule schedule) ())
     in
     List.map
       (fun (op : (T.invocation, T.response) Sim.Trace.operation) ->

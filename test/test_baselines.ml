@@ -9,11 +9,12 @@ module R = Core.Runtime.Make (Spec.Fifo_queue)
 module RegR = Core.Runtime.Make (Spec.Register)
 
 let run_queue ~algorithm ~seed =
-  R.run ~model ~offsets
-    ~delay:(Sim.Net.random_model ~seed model)
-    ~algorithm
-    ~workload:(R.Closed_loop { per_proc = 10; think = rat 1 2; seed })
-    ()
+  R.run
+    (R.Config.make ~model ~offsets
+       ~delay:(Sim.Net.random_model ~seed model)
+       ~algorithm
+       ~workload:(R.Closed_loop { per_proc = 10; think = rat 1 2; seed })
+       ())
 
 let max_latency (report : R.report) =
   Rat.max_list
@@ -35,12 +36,16 @@ let test_centralized_latency_bound () =
     (Rat.le (max_latency report) (Rat.mul_int model.d 2));
   (* The bound is attained under all-max delays by a non-coordinator. *)
   let worst =
-    R.run ~model ~offsets:(Array.make 4 Rat.zero)
-      ~delay:(Sim.Net.max_delay_model model) ~algorithm:R.Centralized
-      ~workload:
-        (R.Schedule
-           [ Core.Workload.entry ~proc:1 ~at:Rat.zero (Spec.Fifo_queue.Enqueue 1) ])
-      ()
+    R.run
+      (R.Config.make ~model ~offsets:(Array.make 4 Rat.zero)
+         ~delay:(Sim.Net.max_delay_model model) ~algorithm:R.Centralized
+         ~workload:
+           (R.Schedule
+              [
+                Core.Workload.entry ~proc:1 ~at:Rat.zero
+                  (Spec.Fifo_queue.Enqueue 1);
+              ])
+         ())
   in
   Alcotest.(check string) "worst case exactly 2d" "20"
     (Rat.to_string (max_latency worst))
@@ -48,12 +53,16 @@ let test_centralized_latency_bound () =
 let test_centralized_coordinator_free () =
   (* Operations at the coordinator itself are instantaneous. *)
   let report =
-    R.run ~model ~offsets:(Array.make 4 Rat.zero)
-      ~delay:(Sim.Net.max_delay_model model) ~algorithm:R.Centralized
-      ~workload:
-        (R.Schedule
-           [ Core.Workload.entry ~proc:0 ~at:Rat.zero (Spec.Fifo_queue.Enqueue 1) ])
-      ()
+    R.run
+      (R.Config.make ~model ~offsets:(Array.make 4 Rat.zero)
+         ~delay:(Sim.Net.max_delay_model model) ~algorithm:R.Centralized
+         ~workload:
+           (R.Schedule
+              [
+                Core.Workload.entry ~proc:0 ~at:Rat.zero
+                  (Spec.Fifo_queue.Enqueue 1);
+              ])
+         ())
   in
   Alcotest.(check string) "coordinator op takes 0" "0"
     (Rat.to_string (max_latency report))
@@ -114,9 +123,10 @@ let test_cross_algorithm_agreement () =
   in
   let responses algorithm =
     let report =
-      RegR.run ~model ~offsets
-        ~delay:(Sim.Net.random_model ~seed:5 model)
-        ~algorithm ~workload:(RegR.Schedule schedule) ()
+      RegR.run
+        (RegR.Config.make ~model ~offsets
+           ~delay:(Sim.Net.random_model ~seed:5 model)
+           ~algorithm ~workload:(RegR.Schedule schedule) ())
     in
     List.map
       (fun (o : (Spec.Register.invocation, Spec.Register.response) Sim.Trace.operation) ->
@@ -168,11 +178,13 @@ let test_baselines_all_types () =
     List.iter
       (fun algorithm ->
         let report =
-          RT.run ~model ~offsets
-            ~delay:(Sim.Net.random_model ~seed:6 model)
-            ~algorithm
-            ~workload:(RT.Closed_loop { per_proc = 6; think = rat 1 2; seed = 6 })
-            ()
+          RT.run
+            (RT.Config.make ~model ~offsets
+               ~delay:(Sim.Net.random_model ~seed:6 model)
+               ~algorithm
+               ~workload:
+                 (RT.Closed_loop { per_proc = 6; think = rat 1 2; seed = 6 })
+               ())
         in
         Alcotest.(check bool)
           (Printf.sprintf "%s / %s linearizable" name report.algorithm)

@@ -108,12 +108,13 @@ let test_bootstrap_algorithm1 () =
     (Sim.Model.skew_valid tight (Sim.Clock_sync.centered sync));
   let module R = Core.Runtime.Make (Spec.Fifo_queue) in
   let report =
-    R.run ~model:tight
-      ~offsets:(Sim.Clock_sync.centered sync)
-      ~delay:(Sim.Net.random_model ~seed:14 tight)
-      ~algorithm:(R.Wtlw { x = rat 2 1 })
-      ~workload:(R.Closed_loop { per_proc = 8; think = rat 1 2; seed = 14 })
-      ()
+    R.run
+      (R.Config.make ~model:tight
+         ~offsets:(Sim.Clock_sync.centered sync)
+         ~delay:(Sim.Net.random_model ~seed:14 tight)
+         ~algorithm:(R.Wtlw { x = rat 2 1 })
+         ~workload:(R.Closed_loop { per_proc = 8; think = rat 1 2; seed = 14 })
+         ())
   in
   Alcotest.(check bool) "bootstrapped run linearizable" true (R.ok report)
 

@@ -53,12 +53,15 @@ let test_config_validation () =
   invalid (fun () -> Core.Reliable.config ~rto:(rat 1 1) ~max_retries:(-1) ())
 
 let run_reliable ~faults =
-  R.run_reliable ~faults ~max_events:500_000 ~model
-    ~offsets:(Array.make 3 Rat.zero)
-    ~delay:(Sim.Net.random_model ~seed:7 model)
-    ~algorithm:(R.Wtlw { x = rat 2 1 })
-    ~workload:(R.Closed_loop { per_proc = 3; think = Rat.make 1 2; seed = 7 })
-    ()
+  R.run
+    (R.Config.reliable
+       (R.Config.make ~faults ~max_events:500_000 ~model
+          ~offsets:(Array.make 3 Rat.zero)
+          ~delay:(Sim.Net.random_model ~seed:7 model)
+          ~algorithm:(R.Wtlw { x = rat 2 1 })
+          ~workload:
+            (R.Closed_loop { per_proc = 3; think = Rat.make 1 2; seed = 7 })
+          ()))
 
 let channel_stats (report : R.report) =
   match report.channel with

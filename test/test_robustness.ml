@@ -11,7 +11,15 @@ let seed = 7
 module Rob = Core.Robustness.Make (Spec.Register)
 module R = Core.Runtime.Make (Spec.Register)
 
-let matrix = lazy (Rob.matrix ~model ~x ~seed ())
+(* The sequential per-type matrix: every nemesis case through
+   [run_cell].  (The full multi-type driver is [Sweep.robustness],
+   covered by test_sweep.) *)
+let run_matrix () =
+  List.map
+    (Rob.run_cell ~model ~x ~seed)
+    (Core.Robustness.default_cases ~seed model)
+
+let matrix = lazy (run_matrix ())
 
 let test_matrix_certified () =
   let cells = Lazy.force matrix in
@@ -44,8 +52,7 @@ let test_matrix_deterministic () =
       cells
   in
   Alcotest.(check bool) "same seed, same matrix" true
-    (fingerprints (Lazy.force matrix)
-    = fingerprints (Rob.matrix ~model ~x ~seed ()))
+    (fingerprints (Lazy.force matrix) = fingerprints (run_matrix ()))
 
 let test_empty_matrix_not_certified () =
   Alcotest.(check bool) "vacuous certification rejected" false
@@ -75,24 +82,26 @@ let test_json_enumerates_every_cell () =
    report flagged [truncated], never an escaped exception. *)
 let test_truncation_is_a_report () =
   let report =
-    R.run ~max_events:40 ~model
-      ~offsets:(Array.make 3 Rat.zero)
-      ~delay:(Sim.Net.random_model ~seed model)
-      ~algorithm:(R.Wtlw { x })
-      ~workload:(R.Closed_loop { per_proc = 5; think = Rat.make 1 2; seed })
-      ()
+    R.run
+      (R.Config.make ~max_events:40 ~model
+         ~offsets:(Array.make 3 Rat.zero)
+         ~delay:(Sim.Net.random_model ~seed model)
+         ~algorithm:(R.Wtlw { x })
+         ~workload:(R.Closed_loop { per_proc = 5; think = Rat.make 1 2; seed })
+         ())
   in
   Alcotest.(check bool) "truncated" true report.truncated;
   Alcotest.(check bool) "not ok" false (R.ok report)
 
 let test_untruncated_run_is_clean () =
   let report =
-    R.run ~max_events:500_000 ~model
-      ~offsets:(Array.make 3 Rat.zero)
-      ~delay:(Sim.Net.random_model ~seed model)
-      ~algorithm:(R.Wtlw { x })
-      ~workload:(R.Closed_loop { per_proc = 3; think = Rat.make 1 2; seed })
-      ()
+    R.run
+      (R.Config.make ~max_events:500_000 ~model
+         ~offsets:(Array.make 3 Rat.zero)
+         ~delay:(Sim.Net.random_model ~seed model)
+         ~algorithm:(R.Wtlw { x })
+         ~workload:(R.Closed_loop { per_proc = 3; think = Rat.make 1 2; seed })
+         ())
   in
   Alcotest.(check bool) "not truncated" false report.truncated;
   Alcotest.(check bool) "ok" true (R.ok report)

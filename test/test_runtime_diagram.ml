@@ -8,9 +8,10 @@ let offsets = [| Rat.zero; rat 1 1; rat (-1) 1; rat 3 2 |]
 module R = Core.Runtime.Make (Spec.Register)
 
 let run ?(check = true) ~algorithm ~workload () =
-  R.run ~check ~model ~offsets
-    ~delay:(Sim.Net.random_model ~seed:3 model)
-    ~algorithm ~workload ()
+  R.run
+    (R.Config.make ~check ~model ~offsets
+       ~delay:(Sim.Net.random_model ~seed:3 model)
+       ~algorithm ~workload ())
 
 let closed = R.Closed_loop { per_proc = 5; think = rat 1 2; seed = 4 }
 
@@ -114,10 +115,11 @@ let test_ok_rejects_pending () =
 let test_retention_off_report_identical () =
   let retained = run ~algorithm:(R.Wtlw { x = rat 2 1 }) ~workload:closed () in
   let streamed =
-    R.run ~retain_events:false ~model ~offsets
-      ~delay:(Sim.Net.random_model ~seed:3 model)
-      ~algorithm:(R.Wtlw { x = rat 2 1 })
-      ~workload:closed ()
+    R.run
+      (R.Config.make ~retain_events:false ~model ~offsets
+         ~delay:(Sim.Net.random_model ~seed:3 model)
+         ~algorithm:(R.Wtlw { x = rat 2 1 })
+         ~workload:closed ())
   in
   Alcotest.(check bool) "reports identical" true (retained = streamed);
   Alcotest.(check bool) "streamed run ok" true (R.ok streamed)

@@ -207,11 +207,12 @@ let closed_loop_identical (type s i r) seed
   let run_model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 12 1) ~u:(rat 4 1) in
   let offsets = [| Rat.zero; rat 1 1; rat (-1) 1; rat 1 2 |] in
   let go retain =
-    R.run ~retain_events:retain ~model:run_model ~offsets
-      ~delay:(Sim.Net.random_model ~seed run_model)
-      ~algorithm:(R.Wtlw { x = rat 3 1 })
-      ~workload:(R.Closed_loop { per_proc = 4; think = rat 1 2; seed })
-      ()
+    R.run
+      (R.Config.make ~retain_events:retain ~model:run_model ~offsets
+         ~delay:(Sim.Net.random_model ~seed run_model)
+         ~algorithm:(R.Wtlw { x = rat 3 1 })
+         ~workload:(R.Closed_loop { per_proc = 4; think = rat 1 2; seed })
+         ())
   in
   let retained = go true and streamed = go false in
   Alcotest.(check bool) (T.name ^ ": reports identical") true

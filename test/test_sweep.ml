@@ -1,0 +1,215 @@
+(* Tests for the multicore sweep engine: byte-identical fingerprints
+   across domain counts, the derived-seed contract, fail-fast
+   cancellation without lost reports, the checker's node-budget
+   diagnostic, the deprecated Runtime wrappers, and the pool-backed
+   robustness matrix. *)
+
+[@@@alert "-deprecated"]
+
+let rat = Rat.make
+
+let packed key =
+  match Sweep.Packed_type.find key with
+  | Some pt -> pt
+  | None -> Alcotest.failf "unknown packed type %s" key
+
+let contains haystack needle =
+  let nlen = String.length needle and hlen = String.length haystack in
+  let rec at i =
+    i + nlen <= hlen && (String.sub haystack i nlen = needle || at (i + 1))
+  in
+  at 0
+
+(* A quick grid: 2 types x 3 algorithms x 2 points x raw/recovered. *)
+let small_grid =
+  { Sweep.default_grid with types = [ packed "register"; packed "queue" ] }
+
+(* Every cell of this grid exhausts a one-node checker budget. *)
+let budget_grid = { small_grid with max_check_nodes = Some 1 }
+
+let test_fingerprint_jobs_independent () =
+  let t1 = Sweep.run ~jobs:1 small_grid in
+  let t4 = Sweep.run ~jobs:4 small_grid in
+  Alcotest.(check int) "all cells evaluated" (Array.length t1.cells)
+    (let done_, _, _, _ = Sweep.counts t1 in
+     done_);
+  Alcotest.(check bool) "grid certified" true (Sweep.certified t1);
+  Alcotest.(check string) "jobs 1 and 4 byte-identical"
+    (Sweep.fingerprint t1) (Sweep.fingerprint t4)
+
+(* The per-cell seed is the FNV-1a hash of the canonical cell key, so
+   it can never depend on the claiming domain or the wall clock. *)
+let test_derived_seed_is_fnv_of_key () =
+  let fnv1a s =
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun c ->
+        h := !h lxor Char.code c;
+        h := !h * 0x01000193 land 0xFFFFFFFF)
+      s;
+    !h
+  in
+  List.iter
+    (fun cell ->
+      let key = Sweep.cell_key small_grid cell in
+      Alcotest.(check int) (key ^ " seed") (fnv1a key)
+        (Sweep.derived_seed small_grid cell))
+    (Sweep.cells small_grid)
+
+let test_budget_diagnostic_is_named () =
+  let cell = List.hd (Sweep.cells budget_grid) in
+  match Sweep.eval budget_grid cell with
+  | Ok _ -> Alcotest.fail "one-node budget should abort the search"
+  | Error msg ->
+      Alcotest.(check bool) "diagnostic names the budget" true
+        (contains msg "linearizability search aborted after");
+      Alcotest.(check bool) "diagnostic names the cell" true
+        (contains msg (Sweep.cell_key budget_grid cell))
+
+(* Sequential fail-fast: the first failure cancels every unclaimed
+   cell; nothing is lost, nothing after the failure runs. *)
+let test_fail_fast_sequential () =
+  let t = Sweep.run ~jobs:1 ~fail_fast:true budget_grid in
+  let total = Array.length t.cells in
+  let done_, _, failed, skipped = Sweep.counts t in
+  Alcotest.(check int) "every cell accounted for" total
+    (done_ + failed + skipped);
+  Alcotest.(check int) "no completions" 0 done_;
+  Alcotest.(check int) "exactly one failure before the cancel" 1 failed;
+  Alcotest.(check int) "rest skipped" (total - 1) skipped;
+  Alcotest.(check bool) "not certified" false (Sweep.certified t);
+  match t.results.(0) with
+  | Sweep.Pool.Failed msg ->
+      Alcotest.(check bool) "failure carries the diagnostic" true
+        (contains msg "linearizability search aborted after")
+  | _ -> Alcotest.fail "first cell should be the failure"
+
+(* Parallel fail-fast: in-flight cells may still finish, but every
+   slot ends up Done, Failed or Skipped — no lost reports. *)
+let test_fail_fast_parallel_no_lost_reports () =
+  let t = Sweep.run ~jobs:4 ~fail_fast:true budget_grid in
+  let done_, _, failed, skipped = Sweep.counts t in
+  Alcotest.(check int) "every cell accounted for" (Array.length t.cells)
+    (done_ + failed + skipped);
+  Alcotest.(check bool) "at least one failure recorded" true (failed >= 1);
+  Alcotest.(check bool) "not certified" false (Sweep.certified t)
+
+(* Without fail-fast, a failing cell does not stop its neighbours. *)
+let test_no_fail_fast_runs_everything () =
+  let t = Sweep.run ~jobs:1 budget_grid in
+  let done_, _, failed, skipped = Sweep.counts t in
+  Alcotest.(check int) "nothing skipped" 0 skipped;
+  Alcotest.(check int) "nothing completes" 0 done_;
+  Alcotest.(check int) "every cell failed" (Array.length t.cells) failed
+
+(* The deprecated wrappers are thin shims over [run (Config.make ...)]
+   and must produce identical reports. *)
+module R = Core.Runtime.Make (Spec.Register)
+
+let wrapper_model =
+  Sim.Model.make ~n:3 ~d:(rat 10 1) ~u:(rat 4 1) ~eps:(rat 1 1)
+
+let wrapper_offsets = Array.make 3 Rat.zero
+let wrapper_workload = R.Closed_loop { per_proc = 4; think = rat 1 2; seed = 5 }
+let wrapper_algorithm = R.Wtlw { x = rat 2 1 }
+
+(* A fresh delay model per run: the generator is seeded, so sharing
+   one across two runs would entangle them. *)
+let wrapper_delay () = Sim.Net.random_model ~seed:5 wrapper_model
+
+let report_fingerprint (r : R.report) =
+  ( R.ok r,
+    List.length r.operations,
+    r.by_op,
+    r.by_kind,
+    r.messages,
+    r.events,
+    r.pending )
+
+let test_run_legacy_equivalent () =
+  let legacy =
+    R.run_legacy ~model:wrapper_model ~offsets:wrapper_offsets
+      ~delay:(wrapper_delay ()) ~algorithm:wrapper_algorithm
+      ~workload:wrapper_workload ()
+  in
+  let config =
+    R.run
+      (R.Config.make ~model:wrapper_model ~offsets:wrapper_offsets
+         ~delay:(wrapper_delay ()) ~algorithm:wrapper_algorithm
+         ~workload:wrapper_workload ())
+  in
+  Alcotest.(check bool) "identical reports" true
+    (report_fingerprint legacy = report_fingerprint config)
+
+let test_run_reliable_equivalent () =
+  let faults = Sim.Fault.plan ~seed:3 [ Sim.Fault.drops 0.1 ] in
+  let legacy =
+    R.run_reliable ~faults ~max_events:500_000 ~model:wrapper_model
+      ~offsets:wrapper_offsets ~delay:(wrapper_delay ())
+      ~algorithm:wrapper_algorithm ~workload:wrapper_workload ()
+  in
+  let config =
+    R.run
+      (R.Config.reliable
+         (R.Config.make ~faults ~max_events:500_000 ~model:wrapper_model
+            ~offsets:wrapper_offsets ~delay:(wrapper_delay ())
+            ~algorithm:wrapper_algorithm ~workload:wrapper_workload ()))
+  in
+  Alcotest.(check bool) "identical reports" true
+    (report_fingerprint legacy = report_fingerprint config);
+  Alcotest.(check bool) "channel present" true (Option.is_some config.channel)
+
+(* The pool-backed robustness matrix: same cells for every domain
+   count, and fully certified on the reference parameters. *)
+let test_robustness_pool () =
+  let model = wrapper_model in
+  let x = rat 5 1 in
+  let cells1 = Sweep.robustness ~jobs:1 ~model ~x ~seed:7 [ packed "register" ] in
+  let cells4 = Sweep.robustness ~jobs:4 ~model ~x ~seed:7 [ packed "register" ] in
+  Alcotest.(check int) "six nemesis cases" 6 (List.length cells1);
+  Alcotest.(check bool) "certified" true
+    (Core.Robustness.all_certified cells1);
+  let fingerprints cells =
+    List.map
+      (fun (c : Core.Robustness.cell) ->
+        (c.data_type, c.case, c.certified, c.raw.faults,
+         c.recovered.retransmits))
+      cells
+  in
+  Alcotest.(check bool) "jobs-independent" true
+    (fingerprints cells1 = fingerprints cells4)
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "fingerprint independent of jobs" `Quick
+            test_fingerprint_jobs_independent;
+          Alcotest.test_case "derived seed is FNV-1a of the cell key" `Quick
+            test_derived_seed_is_fnv_of_key;
+        ] );
+      ( "fail-fast",
+        [
+          Alcotest.test_case "budget diagnostic is named" `Quick
+            test_budget_diagnostic_is_named;
+          Alcotest.test_case "sequential cancel skips the rest" `Quick
+            test_fail_fast_sequential;
+          Alcotest.test_case "parallel cancel loses no reports" `Quick
+            test_fail_fast_parallel_no_lost_reports;
+          Alcotest.test_case "off by default: everything runs" `Quick
+            test_no_fail_fast_runs_everything;
+        ] );
+      ( "config wrappers",
+        [
+          Alcotest.test_case "run_legacy = run (Config.make)" `Quick
+            test_run_legacy_equivalent;
+          Alcotest.test_case "run_reliable = run (Config.reliable)" `Quick
+            test_run_reliable_equivalent;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "pool matrix certified and jobs-independent"
+            `Quick test_robustness_pool;
+        ] );
+    ]

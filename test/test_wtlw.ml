@@ -21,8 +21,9 @@ module Battery (T : Spec.Data_type.S) = struct
   let closed_loop ~seed = R.Closed_loop { per_proc = 10; think = rat 1 2; seed }
 
   let run ?(offsets = offsets_zero) ?(x = x_default) ~delay ~seed () =
-    R.run ~model ~offsets ~delay ~algorithm:(R.Wtlw { x })
-      ~workload:(closed_loop ~seed) ()
+    R.run
+      (R.Config.make ~model ~offsets ~delay ~algorithm:(R.Wtlw { x })
+         ~workload:(closed_loop ~seed) ())
 
   let assert_report name (report : R.report) =
     Alcotest.(check bool) (name ^ ": delays admissible") true
@@ -102,9 +103,10 @@ module Battery (T : Spec.Data_type.S) = struct
     List.iter
       (fun x ->
         let report =
-          R.run ~model ~offsets:offsets_zero
-            ~delay:(Sim.Net.random_model ~seed:3 model)
-            ~algorithm:(R.Wtlw { x }) ~workload:(closed_loop ~seed:3) ()
+          R.run
+            (R.Config.make ~model ~offsets:offsets_zero
+               ~delay:(Sim.Net.random_model ~seed:3 model)
+               ~algorithm:(R.Wtlw { x }) ~workload:(closed_loop ~seed:3) ())
         in
         Alcotest.(check bool)
           (Printf.sprintf "X=%s linearizable" (Rat.to_string x))
@@ -290,11 +292,12 @@ let prop_queue_runs_linearizable =
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
       let report =
-        QR.run ~model ~offsets:offsets_skewed
-          ~delay:(Sim.Net.random_model ~seed model)
-          ~algorithm:(QR.Wtlw { x = x_default })
-          ~workload:(QR.Closed_loop { per_proc = 8; think = rat 1 3; seed })
-          ()
+        QR.run
+          (QR.Config.make ~model ~offsets:offsets_skewed
+             ~delay:(Sim.Net.random_model ~seed model)
+             ~algorithm:(QR.Wtlw { x = x_default })
+             ~workload:(QR.Closed_loop { per_proc = 8; think = rat 1 3; seed })
+             ())
       in
       report.delays_admissible && Option.is_some report.linearization)
 
