@@ -674,6 +674,50 @@ let smoke_section () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Monitors: the O(n log n) per-type path vs the Wing-Gong DFS.        *)
+
+(* Generated unambiguous histories (linearizable by construction), so
+   both engines certify and the comparison is pure verification time.
+   Wing-Gong runs only at the smallest size — its frontier memoization
+   is super-linear in both time and space — while the monitor scales
+   through 1M operations.  The queue is the interesting column (its
+   kernel drives the full extension + lazy-scheduler machinery); the
+   register is the near-trivial baseline. *)
+let monitor_run (modl : (module Spec.Data_type.S)) ~wing_gong ~n () =
+  let (module T : Spec.Data_type.S) = modl in
+  let module M = Monitor.Make (T) in
+  let ops = M.generate ~seed:7 ~n () in
+  let t0 = Unix.gettimeofday () in
+  let linearizable, label =
+    if wing_gong then
+      let module F = Lin.Checker.Make (T) in
+      (Option.is_some (F.check ops), "wing-gong")
+    else
+      let r = M.check ops in
+      (r.M.linearizable, Monitor.method_to_string r.M.method_)
+  in
+  (linearizable, label, Unix.gettimeofday () -. t0)
+
+let monitor_section () =
+  section "Monitors: specialized O(n log n) kernels vs the Wing-Gong DFS";
+  Format.printf "%-14s %10s %-22s %12s %6s@." "type" "ops" "engine" "wall"
+    "ok";
+  let row name modl ~wing_gong ~n =
+    let ok, label, wall_s = monitor_run modl ~wing_gong ~n () in
+    Format.printf "%-14s %10d %-22s %10.3fs %6b@." name n label wall_s ok
+  in
+  List.iter
+    (fun (name, modl) ->
+      row name modl ~wing_gong:true ~n:1_000;
+      List.iter
+        (fun n -> row name modl ~wing_gong:false ~n)
+        [ 1_000; 10_000; 100_000; 1_000_000 ])
+    [
+      ("queue", (module Spec.Fifo_queue : Spec.Data_type.S));
+      ("register", (module Spec.Register : Spec.Data_type.S));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Sweep engine: the campaign grid on 1 domain vs N domains.           *)
 
 let sweep_engine_section () =
@@ -805,6 +849,7 @@ let () =
   if want "streaming" then streaming_section ();
   if want "ablations" then ablation_section ();
   if want "sweep" then sweep_engine_section ();
+  if want "monitor" then monitor_section ();
   if want "robustness" then robustness_section ();
   if want "bechamel" then bechamel_section ();
   Format.printf "@.bench done (%s)@." what

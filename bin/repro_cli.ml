@@ -3,6 +3,8 @@
      repro tables      — print Tables 1-5 for chosen model parameters
      repro simulate    — run a workload on a chosen data type/algorithm
      repro sweep       — run a multicore campaign over the full grid
+     repro check       — certify a generated history with a per-type monitor
+     repro analyze     — run the static-analysis audit passes
      repro classify    — print the discovered operation classes (Fig. 11)
      repro claims      — machine-check the proofs' arithmetic claims
      repro ablate      — run the timing-ablation harness
@@ -116,6 +118,23 @@ let algo_arg =
     & info [ "algorithm"; "a" ] ~docv:"ALGO"
         ~doc:"Implementation: wtlw (the paper's), centralized or tob.")
 
+let checker_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("monitor", Core.Runtime.Monitor);
+             ("wing-gong", Core.Runtime.Wing_gong);
+           ])
+        Core.Runtime.Monitor
+    & info [ "checker" ] ~docv:"ENGINE"
+        ~doc:
+          "Linearizability engine: $(b,monitor) (the specialized O(n log n) \
+           per-type monitors, falling back to Wing-Gong only on histories a \
+           kernel cannot certify) or $(b,wing-gong) (the exponential DFS \
+           directly).")
+
 let make_model n d u eps =
   match eps with
   | Some eps -> Sim.Model.make ~n ~d ~u ~eps
@@ -144,7 +163,7 @@ let tables_cmd =
 (* ---------------- simulate ---------------- *)
 
 let simulate_cmd =
-  let run n d u eps x algo seed ops no_retain pt =
+  let run n d u eps x algo seed ops no_retain checker pt =
     let model = make_model n d u eps in
     let x = make_x model x in
     let (module T : Spec.Data_type.S) = Sweep.Packed_type.modl pt in
@@ -157,7 +176,7 @@ let simulate_cmd =
     in
     let report =
       R.run
-        (R.Config.make ~model
+        (R.Config.make ~model ~checker
            ~retain_events:(not no_retain)
            ~offsets:(Array.make model.n Rat.zero)
            ~delay:(Sim.Net.random_model ~seed model)
@@ -186,7 +205,191 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ algo_arg
-       $ seed_arg $ ops_arg $ no_retain_arg $ type_arg))
+       $ seed_arg $ ops_arg $ no_retain_arg $ checker_arg $ type_arg))
+
+(* ---------------- check ---------------- *)
+
+(* Certify a generated concurrent history with the per-type monitor —
+   the direct harness for the O(n log n) path, without a simulated
+   cluster in the loop.  The generator produces seed-deterministic,
+   linearizable-by-construction histories; [--inject-violation] swaps
+   two responses so the verdict must flip.  Exits nonzero whenever the
+   verdict disagrees with what was constructed. *)
+
+let check_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n"; "ops" ] ~docv:"OPS"
+          ~doc:"Number of operations in the generated history.")
+  in
+  let online_arg =
+    Arg.(
+      value & flag
+      & info [ "online" ]
+          ~doc:
+            "Stream the history through a live trace with the monitor \
+             attached as a sink, and report the event index at which a \
+             violation first becomes visible, instead of checking the \
+             completed history offline.")
+  in
+  let inject_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-violation" ]
+          ~doc:
+            "Swap the responses of two same-shaped observations before \
+             checking, so the history contradicts the declared type; the \
+             command then exits zero only if the violation is caught.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Append a one-line JSON record of the verdict to $(docv).")
+  in
+  let run pt count seed checker online inject json_path =
+    let (module T : Spec.Data_type.S) = Sweep.Packed_type.modl pt in
+    let module M = Monitor.Make (T) in
+    match Monitor.monitored_kind (module T) with
+    | None ->
+        let monitored =
+          List.filter
+            (fun pt ->
+              Monitor.monitored_kind (Sweep.Packed_type.modl pt) <> None)
+            Sweep.Packed_type.all
+        in
+        `Error
+          ( false,
+            Printf.sprintf
+              "%s declares no monitor viewer, so it has no history \
+               generator; monitored types: %s"
+              T.name
+              (String.concat ", "
+                 (List.map Sweep.Packed_type.key monitored)) )
+    | Some kind -> (
+        let t0 = Unix.gettimeofday () in
+        let ops = M.generate ~seed ~n:count () in
+        let ops, injected = if inject then M.corrupt ops else (ops, false) in
+        let gen_s = Unix.gettimeofday () -. t0 in
+        if inject && not injected then
+          `Error
+            (false, "history offers no same-shaped response pair to swap")
+        else begin
+          Format.printf "history: %s, %d operations, seed %d (generated in \
+                         %.2fs)%s@."
+            T.name count seed gen_s
+            (if injected then ", violation injected" else "");
+          let t1 = Unix.gettimeofday () in
+          let linearizable, method_s, fallback, violation, detail =
+            if online then begin
+              let trace : (unit, T.invocation, T.response) Sim.Trace.t =
+                Sim.Trace.create ()
+              in
+              let h = M.attach trace in
+              let events =
+                List.concat_map
+                  (fun (o : M.op) ->
+                    [
+                      (o.Sim.Trace.inv_time, 0, o);
+                      (o.Sim.Trace.resp_time, 1, o);
+                    ])
+                  ops
+                |> List.stable_sort (fun (t1, k1, _) (t2, k2, _) ->
+                       match Rat.compare t1 t2 with
+                       | 0 -> Int.compare k1 k2
+                       | c -> c)
+              in
+              let detected = ref None in
+              List.iteri
+                (fun i (time, k, (o : M.op)) ->
+                  Sim.Trace.record trace
+                    (if k = 0 then
+                       Sim.Trace.Invoke { time; proc = o.proc; inv = o.inv }
+                     else
+                       Sim.Trace.Respond
+                         { time; proc = o.proc; inv = o.inv; resp = o.resp });
+                  if !detected = None && M.online_violation h <> None then
+                    detected := Some i)
+                events;
+              let violation =
+                match M.online_violation h with
+                | Some v -> Some v
+                | None -> M.online_finalize h
+              in
+              let detail =
+                match !detected with
+                | Some i ->
+                    Printf.sprintf "violation visible at event %d of %d" i
+                      (List.length events)
+                | None ->
+                    Printf.sprintf "%d events streamed" (List.length events)
+              in
+              ( violation = None,
+                "online " ^ Monitor.method_to_string (Monitor.Specialized kind),
+                None,
+                violation,
+                Some detail )
+            end
+            else
+              match checker with
+              | Core.Runtime.Wing_gong ->
+                  let module F = Lin.Checker.Make (T) in
+                  (Option.is_some (F.check ops), "wing-gong", None, None, None)
+              | Core.Runtime.Monitor ->
+                  let r = M.check ops in
+                  ( r.M.linearizable,
+                    Monitor.method_to_string r.M.method_,
+                    r.M.fallback,
+                    r.M.violation,
+                    None )
+          in
+          let check_s = Unix.gettimeofday () -. t1 in
+          Format.printf "verdict: %s (%s) in %.2fs@."
+            (if linearizable then "linearizable" else "NOT linearizable")
+            method_s check_s;
+          Option.iter (Format.printf "  %s@.") detail;
+          Option.iter (Format.printf "  fell back to wing-gong: %s@.") fallback;
+          Option.iter (Format.printf "  %a@." Monitor.Violation.pp) violation;
+          Option.iter
+            (fun path ->
+              let oc =
+                open_out_gen [ Open_append; Open_creat ] 0o644 path
+              in
+              Printf.fprintf oc
+                "{ \"bench\": \"monitor-check\", \"type\": \"%s\", \
+                 \"ops\": %d, \"seed\": %d, \"online\": %b, \
+                 \"injected\": %b, \"linearizable\": %b, \"method\": \
+                 \"%s\", \"fallback\": %b, \"gen_s\": %.6f, \
+                 \"check_s\": %.6f }\n"
+                T.name count seed online injected linearizable method_s
+                (fallback <> None) gen_s check_s;
+              close_out oc;
+              Format.printf "appended %s@." path)
+            json_path;
+          if injected && linearizable then
+            `Error (false, "injected violation went undetected")
+          else if (not injected) && not linearizable then
+            `Error
+              ( false,
+                "generated history is linearizable by construction, but the \
+                 checker rejected it" )
+          else `Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Generate a seed-deterministic concurrent history for a monitored \
+          data type and certify it with the specialized O(n log n) monitor \
+          (or Wing-Gong, or the streaming online sink).  With \
+          $(b,--inject-violation) the verdict must flip for the command to \
+          succeed.")
+    Term.(
+      ret
+        (const run $ type_arg $ count_arg $ seed_arg $ checker_arg
+       $ online_arg $ inject_arg $ json_arg))
 
 (* ---------------- classify ---------------- *)
 
@@ -290,9 +493,10 @@ let analyze_cmd =
          "Statically audit the semantic artifacts — data-type specs \
           (determinism, totality, canonical rendering, sample coverage), \
           declared operation classifications against the discovered ones, \
-          and the bound tables' consistency and theorem preconditions — \
-          without running the simulator.  Exits nonzero on any \
-          error-severity finding.")
+          declared monitor viewers against the sequential discipline and \
+          classification witnesses, and the bound tables' consistency and \
+          theorem preconditions — without running the simulator.  Exits \
+          nonzero on any error-severity finding.")
     Term.(ret (const run $ all_arg $ json_arg $ analyze_type_arg))
 
 (* ---------------- claims ---------------- *)
@@ -535,9 +739,9 @@ let sweep_cmd =
       & info [ "ops" ] ~docv:"K"
           ~doc:"Operations per process in each cell (closed loop).")
   in
-  let run jobs json_path dtype grid_spec fail_fast seed ops =
+  let run jobs json_path dtype grid_spec fail_fast seed ops checker =
     let grid =
-      { Sweep.default_grid with per_proc = ops; seeds = [ seed ] }
+      { Sweep.default_grid with per_proc = ops; seeds = [ seed ]; checker }
     in
     let grid =
       match dtype with None -> grid | Some pt -> { grid with types = [ pt ] }
@@ -578,7 +782,7 @@ let sweep_cmd =
     Term.(
       ret
         (const run $ jobs_arg $ json_arg $ sweep_type_arg $ grid_arg
-       $ fail_fast_arg $ seed_arg $ sweep_ops_arg))
+       $ fail_fast_arg $ seed_arg $ sweep_ops_arg $ checker_arg))
 
 (* ---------------- finding ---------------- *)
 
@@ -625,6 +829,7 @@ let main =
       tables_cmd;
       simulate_cmd;
       sweep_cmd;
+      check_cmd;
       analyze_cmd;
       classify_cmd;
       claims_cmd;

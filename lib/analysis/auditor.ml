@@ -16,6 +16,7 @@ type target = {
   name : string;
   spec_lint : unit -> Diagnostic.t list;
   class_audit : unit -> Diagnostic.t list;
+  monitor_audit : unit -> Diagnostic.t list;
 }
 
 let target (type s i r) name
@@ -33,6 +34,10 @@ let target (type s i r) name
       (fun () ->
         let module A = Class_audit.Make (T) in
         A.run ~extra ());
+    monitor_audit =
+      (fun () ->
+        let module M = Monitor_audit.Make (T) in
+        M.run ~extra ());
   }
 
 let tree_extra =
@@ -62,7 +67,7 @@ let target_names = List.map (fun t -> t.name) targets
 let find_target name =
   List.find_opt (fun t -> String.equal t.name name) targets
 
-let audit_target t = t.spec_lint () @ t.class_audit ()
+let audit_target t = t.spec_lint () @ t.class_audit () @ t.monitor_audit ()
 
 let audit_types () = List.concat_map audit_target targets
 

@@ -4,6 +4,7 @@ type target = {
   name : string;
   spec_lint : unit -> Diagnostic.t list;
   class_audit : unit -> Diagnostic.t list;
+  monitor_audit : unit -> Diagnostic.t list;
 }
 
 val target :
@@ -26,7 +27,7 @@ val target_names : string list
 val find_target : string -> target option
 
 val audit_target : target -> Diagnostic.t list
-(** spec_lint + class_audit for one data type. *)
+(** spec_lint + class_audit + monitor_audit for one data type. *)
 
 val audit_types : unit -> Diagnostic.t list
 

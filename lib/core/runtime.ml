@@ -19,16 +19,29 @@ let algorithm_name = function
   | Centralized -> "centralized"
   | Tob -> "total-order-broadcast"
 
+(* Which linearizability engine certifies the run.  [Monitor] routes
+   through the per-type O(n log n) monitors ({!Monitor.Make}), which
+   themselves fall back to Wing-Gong for unmonitored types and
+   uncertifiable histories, so it is always a safe default; [Wing_gong]
+   forces the exponential DFS, kept as a cross-validation escape
+   hatch. *)
+type checker = Monitor | Wing_gong
+
+let checker_name = function Monitor -> "monitor" | Wing_gong -> "wing-gong"
+
 module Make (T : Spec.Data_type.S) = struct
   module Sem = Spec.Data_type.Semantics (T)
   module Checker = Lin.Checker.Make (T)
+  module Mon = Monitor.Make (T)
   module Wtlw_impl = Wtlw.Make (T)
   module Centralized_impl = Centralized.Make (T)
   module Tob_impl = Tob.Make (T)
 
   type nonrec algorithm = algorithm = Wtlw of { x : Rat.t } | Centralized | Tob
+  type nonrec checker = checker = Monitor | Wing_gong
 
   let algorithm_name = algorithm_name
+  let checker_name = checker_name
 
   type workload =
     | Schedule of T.invocation Workload.entry list
@@ -58,6 +71,10 @@ module Make (T : Spec.Data_type.S) = struct
     faults : Sim.Trace.fault_counts;
     truncated : bool;
     channel : channel option;
+    checked_by : string option;
+        (** which engine produced [linearization] ("wing-gong", a
+            per-type monitor, or a monitor-to-Wing-Gong fallback);
+            [None] when checking was off *)
   }
 
   module Config = struct
@@ -67,6 +84,7 @@ module Make (T : Spec.Data_type.S) = struct
       faults : Sim.Fault.plan;
       max_events : int option;
       max_check_nodes : int option;
+      checker : checker;
       channel : Reliable.config option;
       model : Sim.Model.t;
       offsets : Rat.t array;
@@ -76,14 +94,16 @@ module Make (T : Spec.Data_type.S) = struct
     }
 
     let make ?(check = true) ?(retain_events = true)
-        ?(faults = Sim.Fault.none) ?max_events ?max_check_nodes ?channel
-        ~model ~offsets ~delay ~algorithm ~workload () =
+        ?(faults = Sim.Fault.none) ?max_events ?max_check_nodes
+        ?(checker = Monitor) ?channel ~model ~offsets ~delay ~algorithm
+        ~workload () =
       {
         check;
         retain_events;
         faults;
         max_events;
         max_check_nodes;
+        checker;
         channel;
         model;
         offsets;
@@ -104,6 +124,22 @@ module Make (T : Spec.Data_type.S) = struct
   end
 
   let kind_of inv = Sem.kind_of inv
+
+  (* Certify a completed history with the configured engine.  Returns
+     the linearization witness (when one exists) and the engine label
+     for the report. *)
+  let certify ?max_nodes ~checker operations =
+    match checker with
+    | Wing_gong -> (Checker.check ?max_nodes operations, "wing-gong")
+    | Monitor ->
+        let r = Mon.check ?max_nodes operations in
+        let label =
+          match r.Mon.fallback with
+          | Some _ when r.Mon.method_ = Monitor.Wing_gong ->
+              "monitor, fell back to wing-gong"
+          | _ -> Monitor.method_to_string r.Mon.method_
+        in
+        (r.Mon.linearization, label)
 
   (* Drive one engine (of any algorithm) through the workload. *)
   let drive (type m g) ?max_events ~(model : Sim.Model.t)
@@ -136,13 +172,20 @@ module Make (T : Spec.Data_type.S) = struct
      counters, pairing and admissibility are O(1) lookups, so the only
      remaining pass is over completed operations (for the checker),
      never over raw events. *)
-  let report_of_trace ?(skew_admissible = true) ~model ~algorithm ~check trace
-      =
+  let report_of_trace ?(skew_admissible = true) ?(checker = Monitor) ~model
+      ~algorithm ~check trace =
     let operations = Sim.Trace.operations trace in
+    let linearization, checked_by =
+      if check then
+        let lin, label = certify ~checker operations in
+        (lin, Some label)
+      else (None, None)
+    in
     {
       algorithm;
       operations;
-      linearization = (if check then Checker.check operations else None);
+      linearization;
+      checked_by;
       by_op = Metrics.by_op ~op_of:T.op_of operations;
       by_kind = Metrics.by_kind ~kind_of operations;
       messages = Sim.Trace.send_count trace;
@@ -161,8 +204,8 @@ module Make (T : Spec.Data_type.S) = struct
      the step limit is not lost: the sinks hold everything up to the
      truncation point, so the report is returned with
      [truncated = true] (and typically [pending > 0]). *)
-  let report_of_run (type m g) ?max_events ?max_check_nodes ?channel
-      ~(model : Sim.Model.t) ~algorithm ~check
+  let report_of_run (type m g) ?max_events ?max_check_nodes
+      ?(checker = Monitor) ?channel ~(model : Sim.Model.t) ~algorithm ~check
       (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
     let trace = Sim.Engine.trace engine in
     let by_op_acc = Metrics.Grouped.create () in
@@ -177,12 +220,19 @@ module Make (T : Spec.Data_type.S) = struct
       | exception Sim.Engine.Step_limit_exceeded _ -> true
     in
     let operations = Sim.Trace.operations trace in
+    let linearization, checked_by =
+      if check then
+        let lin, label =
+          certify ?max_nodes:max_check_nodes ~checker operations
+        in
+        (lin, Some label)
+      else (None, None)
+    in
     {
       algorithm;
       operations;
-      linearization =
-        (if check then Checker.check ?max_nodes:max_check_nodes operations
-         else None);
+      linearization;
+      checked_by;
       by_op = Metrics.Grouped.summaries by_op_acc;
       by_kind = Metrics.Grouped.summaries by_kind_acc;
       messages = Sim.Trace.send_count trace;
@@ -204,8 +254,8 @@ module Make (T : Spec.Data_type.S) = struct
     let finish (type m g)
         (engine : (m, g, T.invocation, T.response) Sim.Engine.t) =
       report_of_run ?max_events:cfg.max_events
-        ?max_check_nodes:cfg.max_check_nodes ~model ~algorithm:name
-        ~check:cfg.check engine workload
+        ?max_check_nodes:cfg.max_check_nodes ~checker:cfg.checker ~model
+        ~algorithm:name ~check:cfg.check engine workload
     in
     let retain_events = cfg.retain_events and faults = cfg.faults in
     match algorithm with
@@ -244,7 +294,7 @@ module Make (T : Spec.Data_type.S) = struct
     let finish (type m g)
         (engine : (m, g, T.invocation, T.response) Sim.Engine.t) stats =
       report_of_run ?max_events:cfg.max_events
-        ?max_check_nodes:cfg.max_check_nodes
+        ?max_check_nodes:cfg.max_check_nodes ~checker:cfg.checker
         ~channel:{ config; effective; stats }
         ~model:effective ~algorithm:name ~check:cfg.check engine workload
     in
@@ -320,6 +370,9 @@ module Make (T : Spec.Data_type.S) = struct
     Format.fprintf ppf "linearizable: %b; delays admissible: %b; pending: %d@,"
       (Option.is_some r.linearization)
       r.delays_admissible r.pending;
+    (match r.checked_by with
+    | Some engine -> Format.fprintf ppf "checked by: %s@," engine
+    | None -> ());
     if not r.skew_admissible then Format.fprintf ppf "skew: inadmissible@,";
     if r.truncated then Format.fprintf ppf "TRUNCATED (step limit)@,";
     if Sim.Trace.total_faults r.faults > 0 then

@@ -15,6 +15,15 @@ type algorithm =
 
 val algorithm_name : algorithm -> string
 
+type checker =
+  | Monitor
+      (** per-type O(n log n) monitors ({!Monitor.Make}), falling back
+          to Wing-Gong for unmonitored types and uncertifiable
+          histories — the default *)
+  | Wing_gong  (** force the exponential DFS (cross-validation) *)
+
+val checker_name : checker -> string
+
 module Make (T : Spec.Data_type.S) : sig
   module Sem : module type of Spec.Data_type.Semantics (T)
   module Checker : module type of Lin.Checker.Make (T)
@@ -25,6 +34,12 @@ module Make (T : Spec.Data_type.S) : sig
     | Tob  (** folklore: clock-based total-order broadcast *)
 
   val algorithm_name : algorithm -> string
+
+  type nonrec checker = checker =
+    | Monitor  (** per-type monitors with Wing-Gong fallback (default) *)
+    | Wing_gong  (** force the exponential DFS *)
+
+  val checker_name : checker -> string
 
   type workload =
     | Schedule of T.invocation Workload.entry list
@@ -64,6 +79,10 @@ module Make (T : Spec.Data_type.S) : sig
         (** the run hit the step limit; the report summarizes the
             prefix up to that point *)
     channel : channel option;  (** present for reliable-channel runs *)
+    checked_by : string option;
+        (** which engine produced [linearization] ("wing-gong", a
+            per-type monitor, or a monitor-to-Wing-Gong fallback);
+            [None] when checking was off *)
   }
 
   (** Everything that defines one run, in one declarative record. *)
@@ -83,6 +102,8 @@ module Make (T : Spec.Data_type.S) : sig
               raises {!Lin.Checker.Node_budget_exceeded} so a
               pathological cell aborts with a named diagnostic instead
               of hanging *)
+      checker : checker;
+          (** which engine certifies histories (default [Monitor]) *)
       channel : Reliable.config option;
           (** [Some config]: wrap the algorithm's handlers in the
               {!Reliable} ack/retransmit channel and judge the whole
@@ -103,6 +124,7 @@ module Make (T : Spec.Data_type.S) : sig
       ?faults:Sim.Fault.plan ->
       ?max_events:int ->
       ?max_check_nodes:int ->
+      ?checker:checker ->
       ?channel:Reliable.config ->
       model:Sim.Model.t ->
       offsets:Rat.t array ->
@@ -165,6 +187,7 @@ module Make (T : Spec.Data_type.S) : sig
 
   val report_of_trace :
     ?skew_admissible:bool ->
+    ?checker:checker ->
     model:Sim.Model.t ->
     algorithm:string ->
     check:bool ->

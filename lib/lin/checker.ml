@@ -21,9 +21,23 @@
     [(state id, op index)] are cached too, so [T.apply] runs once per
     distinct (state, operation) pair over the whole search. *)
 
-exception Node_budget_exceeded of int
+exception
+  Node_budget_exceeded of {
+    nodes : int;  (** DFS nodes visited when the budget tripped *)
+    prefix : int;  (** longest linearized prefix reached (operations) *)
+    total : int;  (** operations in the history being checked *)
+  }
 (* Raised outside the functor so every instantiation shares the one
-   constructor and generic drivers (the sweep engine) can catch it. *)
+   constructor and generic drivers (the sweep engine) can catch it.
+   The payload names how far the search got, so a budget abort reads
+   as "explored N nodes, linearized at most P of T operations" instead
+   of a bare exception name. *)
+
+let pp_budget_exceeded ppf (nodes, prefix, total) =
+  Format.fprintf ppf
+    "linearizability search aborted after %d nodes (deepest prefix %d of %d \
+     operations)"
+    nodes prefix total
 
 module Make (T : Spec.Data_type.S) = struct
   type op = (T.invocation, T.response) Sim.Trace.operation
@@ -76,13 +90,18 @@ module Make (T : Spec.Data_type.S) = struct
        the interned state id. *)
     let dead : (int list * int, unit) Hashtbl.t = Hashtbl.create 97 in
     let nodes = ref 0 in
+    let deepest = ref 0 in
     let budget = match max_nodes with Some b -> b | None -> max_int in
-    let rec dfs remaining sid acc =
+    let rec dfs remaining sid acc depth =
+      if depth > !deepest then deepest := depth;
       match remaining with
       | [] -> Some (List.rev acc)
       | _ ->
           incr nodes;
-          if !nodes > budget then raise (Node_budget_exceeded !nodes);
+          if !nodes > budget then
+            raise
+              (Node_budget_exceeded
+                 { nodes = !nodes; prefix = !deepest; total });
           let k = (remaining, sid) in
           if Hashtbl.mem dead k then None
           else begin
@@ -101,6 +120,7 @@ module Make (T : Spec.Data_type.S) = struct
                       (List.filter (fun j -> j <> i) remaining)
                       sid'
                       (arr.(i) :: acc)
+                      (depth + 1)
             in
             match List.find_map try_first remaining with
             | Some _ as witness -> witness
@@ -109,7 +129,7 @@ module Make (T : Spec.Data_type.S) = struct
                 None
           end
     in
-    dfs (List.init total Fun.id) (intern T.initial) []
+    dfs (List.init total Fun.id) (intern T.initial) [] 0
 
   let is_linearizable ?max_nodes ops = Option.is_some (check ?max_nodes ops)
 

@@ -14,12 +14,22 @@
     transitions are cached, so [apply] runs once per distinct
     transition over the whole search. *)
 
-exception Node_budget_exceeded of int
+exception
+  Node_budget_exceeded of {
+    nodes : int;  (** DFS nodes visited when the budget tripped *)
+    prefix : int;  (** longest linearized prefix reached (operations) *)
+    total : int;  (** operations in the history being checked *)
+  }
 (** Raised by {!Make.check} when [max_nodes] is set and the DFS visits
-    more nodes than the budget: the payload is the node count at abort.
+    more nodes than the budget.  The payload names how far the search
+    got — nodes explored and the deepest linearized prefix — so sweep
+    and runtime diagnostics can report progress, not just the abort.
     Declared outside {!Make} so the one constructor is shared by every
     instantiation — generic drivers (e.g. the sweep engine) can catch
     it without knowing the data type. *)
+
+val pp_budget_exceeded : Format.formatter -> int * int * int -> unit
+(** Render [(nodes, prefix, total)] as the canonical diagnostic line. *)
 
 module Make (T : Spec.Data_type.S) : sig
   type op = (T.invocation, T.response) Sim.Trace.operation

@@ -1,0 +1,344 @@
+(* Online violation detection: a streaming version of the necessary
+   patterns, fed one {e completed} operation at a time in response-time
+   order (the order [Sim.Trace.on_operation] delivers them).
+
+   Soundness discipline: a rule fires only when every interval it
+   mentions is fully known — an in-flight or future operation could
+   still linearize anywhere, so checks that depend on "never happens"
+   are {e deferred} to the moment the contradicting operation completes
+   (a before-put fires when the late put arrives, a FIFO inversion when
+   the later take arrives) or to {!finalize}, when the run is over and
+   "never" is certain.  The streaming rules are deliberately a subset
+   of the offline kernels: everything they flag is a real violation;
+   whatever slips past (notably empty observations, and the stack /
+   priority-queue order patterns, whose two-sided conditions need the
+   offline sweep) is caught by the end-of-run check.
+
+   On the first ambiguity (a value inserted twice, an observation
+   outside the kind's vocabulary) the monitor disarms instead of
+   guessing — [status] reports why. *)
+
+module V = Spec.Adt_view
+
+(* Append-only index over completed operations in completion order:
+   response times arrive non-decreasing, so "every entry finishing
+   strictly before [t]" is a prefix, and a running argmax over a
+   rational key answers "the strongest witness among them" in
+   O(log n). *)
+module Pmax = struct
+  type 'a entry = { fin : Rat.t; key : Rat.t; wit : 'a }
+
+  type 'a t = {
+    mutable arr : 'a entry array;
+    mutable best : int array;  (** argmax of [key] over the prefix *)
+    mutable n : int;
+  }
+
+  let create () = { arr = [||]; best = [||]; n = 0 }
+
+  let push t ~fin ~key ~wit =
+    let e = { fin; key; wit } in
+    if t.n = Array.length t.arr then begin
+      let cap = max 8 (2 * t.n) in
+      let arr = Array.make cap e and best = Array.make cap 0 in
+      Array.blit t.arr 0 arr 0 t.n;
+      Array.blit t.best 0 best 0 t.n;
+      t.arr <- arr;
+      t.best <- best
+    end;
+    t.arr.(t.n) <- e;
+    t.best.(t.n) <-
+      (if t.n = 0 then 0
+       else
+         let b = t.best.(t.n - 1) in
+         if Rat.lt t.arr.(b).key key then t.n else b);
+    t.n <- t.n + 1
+
+  (* strongest (key, witness) among entries finishing strictly below *)
+  let query t ~below =
+    let lo = ref 0 and hi = ref t.n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Rat.lt t.arr.(mid).fin below then lo := mid + 1 else hi := mid
+    done;
+    if !lo = 0 then None
+    else
+      let b = t.best.(!lo - 1) in
+      Some (t.arr.(b).key, t.arr.(b).wit)
+end
+
+type vstate = {
+  mutable put : Record.t option;
+  mutable take : Record.t option;
+  mutable early_obs : Record.t option;
+      (** earliest-finishing observation seen while the put is still
+          missing — the deferred fresh / before-put witness *)
+  mutable drops : Record.t list;  (** set only *)
+  mutable falses : Record.t list;
+      (** set only: [Has (v, false)] with the add forced before it *)
+}
+
+type t = {
+  kind : V.kind;
+  mutable inert : string option;
+  mutable violation : Violation.t option;
+  vals : (int, vstate) Hashtbl.t;
+  writes : Record.t Pmax.t;  (** register: key = start of the write *)
+  takes : (Record.t * Record.t) Pmax.t;
+      (** queue: key = start of the value's put; witness (take, put) *)
+  mutable initial_reads : Record.t list;  (** register: reads of 0 *)
+  mutable put0 : bool;  (** register: some [Put 0] completed *)
+}
+
+let create kind =
+  {
+    kind;
+    inert = None;
+    violation = None;
+    vals = Hashtbl.create 97;
+    writes = Pmax.create ();
+    takes = Pmax.create ();
+    initial_reads = [];
+    put0 = false;
+  }
+
+let status t = match t.inert with None -> `Armed | Some why -> `Inert why
+let violation t = t.violation
+
+let vstate t v =
+  match Hashtbl.find_opt t.vals v with
+  | Some s -> s
+  | None ->
+      let s =
+        { put = None; take = None; early_obs = None; drops = []; falses = [] }
+      in
+      Hashtbl.add t.vals v s;
+      s
+
+let disarm t why = if t.inert = None then t.inert <- Some why
+
+let viol t rule culprits msg =
+  if t.violation = None && t.inert = None then
+    t.violation <-
+      Some
+        (Violation.make ~kind:t.kind ~rule
+           ~culprits:(List.map Record.culprit culprits)
+           msg)
+
+(* shared rule prefix: the three container kinds share their cheap
+   per-value rules (and rule names) with the offline kernels *)
+let rule_prefix = function
+  | V.Queue | V.Stack | V.Priority_queue -> "container"
+  | V.Register -> "register"
+  | V.Set -> "set"
+
+let note_early s (r : Record.t) =
+  match s.early_obs with
+  | Some (e : Record.t) when Rat.le e.finish r.finish -> ()
+  | _ -> s.early_obs <- Some r
+
+(* --- containers --------------------------------------------------- *)
+
+let cont_put t (r : Record.t) v =
+  let s = vstate t v in
+  match s.put with
+  | Some _ -> disarm t (Printf.sprintf "value %d inserted twice; ambiguous" v)
+  | None -> (
+      s.put <- Some r;
+      match s.early_obs with
+      | Some (o : Record.t) when Rat.lt o.finish r.start ->
+          viol t
+            (rule_prefix t.kind ^ ".before-put")
+            [ o; r ]
+            (Printf.sprintf "value %d observed entirely before its insertion"
+               v)
+      | _ -> ())
+
+let cont_take t (r : Record.t) v =
+  let s = vstate t v in
+  match s.take with
+  | Some first ->
+      viol t
+        (rule_prefix t.kind ^ ".repeat")
+        [ r; first ]
+        (Printf.sprintf "value %d taken twice" v)
+  | None ->
+      s.take <- Some r;
+      (match s.put with
+      | None -> note_early s r
+      | Some put ->
+          if t.kind = V.Queue then begin
+            (* FIFO inversion, deferred to the later take: an earlier
+               take finished before this one could start, of a value
+               whose put is forced after ours *)
+            (match Pmax.query t.takes ~below:r.start with
+            | Some (key, (tw, pw)) when Rat.lt put.finish key ->
+                viol t "queue.fifo-order"
+                  [ r; put; tw; pw ]
+                  (Printf.sprintf
+                     "value %d taken after another value although it is \
+                      forced into the queue first"
+                     v)
+            | _ -> ());
+            Pmax.push t.takes ~fin:r.finish ~key:put.start ~wit:(r, put)
+          end)
+
+let cont_peek t (r : Record.t) v =
+  let s = vstate t v in
+  (match s.put with None -> note_early s r | Some _ -> ());
+  match s.take with
+  | Some (take : Record.t) when Rat.lt take.finish r.start ->
+      viol t
+        (rule_prefix t.kind ^ ".after-take")
+        [ r; take ]
+        (Printf.sprintf "value %d observed entirely after its removal" v)
+  | _ -> ()
+
+(* --- register ----------------------------------------------------- *)
+
+let reg_write t (r : Record.t) v =
+  let s = vstate t v in
+  (match s.put with
+  | Some _ -> disarm t (Printf.sprintf "value %d written twice; ambiguous" v)
+  | None -> (
+      s.put <- Some r;
+      (match s.early_obs with
+      | Some (o : Record.t) when Rat.lt o.finish r.start ->
+          viol t "register.before-write" [ o; r ]
+            (Printf.sprintf "read returned %d entirely before its write" v)
+      | _ -> ())));
+  if v = 0 then begin
+    t.put0 <- true;
+    if t.initial_reads <> [] then
+      disarm t "value 0 both initial and written; ambiguous"
+  end;
+  Pmax.push t.writes ~fin:r.finish ~key:r.start ~wit:r
+
+let reg_read t (r : Record.t) v =
+  let s = vstate t v in
+  match s.put with
+  | None ->
+      if v = 0 then
+        if t.put0 then disarm t "value 0 both initial and written; ambiguous"
+        else t.initial_reads <- r :: t.initial_reads
+      else note_early s r
+  | Some w -> (
+      if v = 0 then disarm t "value 0 both initial and written; ambiguous"
+      else
+        (* stale: some completed write is forced strictly between the
+           write of [v] and this read *)
+        match Pmax.query t.writes ~below:r.start with
+        | Some (key, w') when Rat.lt w.Record.finish key ->
+            viol t "register.stale" [ r; w; w' ]
+              (Printf.sprintf "read returned %d after a forced overwrite" v)
+        | _ -> ())
+
+(* --- set ---------------------------------------------------------- *)
+
+let set_add t (r : Record.t) v =
+  let s = vstate t v in
+  match s.put with
+  | Some _ -> disarm t (Printf.sprintf "value %d added twice; ambiguous" v)
+  | None -> (
+      s.put <- Some r;
+      match s.early_obs with
+      | Some (o : Record.t) when Rat.lt o.finish r.start ->
+          viol t "set.before-add" [ o; r ]
+            (Printf.sprintf
+               "membership of %d observed entirely before its add" v)
+      | _ -> ())
+
+let set_drop t (r : Record.t) v =
+  let s = vstate t v in
+  s.drops <- r :: s.drops
+
+let set_yes t (r : Record.t) v =
+  let s = vstate t v in
+  match s.put with
+  | None -> note_early s r
+  | Some add -> (
+      match
+        List.find_opt
+          (fun (d : Record.t) ->
+            Rat.lt add.Record.finish d.start && Rat.lt d.finish r.start)
+          s.drops
+      with
+      | Some d ->
+          viol t "set.after-drop" [ r; add; d ]
+            (Printf.sprintf "membership of %d observed after a forced remove"
+               v)
+      | None -> ())
+
+let set_no t (r : Record.t) v =
+  let s = vstate t v in
+  match s.put with
+  | Some (add : Record.t) when Rat.lt add.finish r.start ->
+      (* forced after the add; whether every remove is out of the way
+         is only certain at the end of the run *)
+      s.falses <- r :: s.falses
+  | _ -> ()
+
+(* --- dispatch ----------------------------------------------------- *)
+
+let observe t (r : Record.t) : Violation.t option =
+  (if t.inert = None && t.violation = None then
+     match (t.kind, r.obs) with
+    | V.Register, V.Put v -> reg_write t r v
+    | V.Register, V.Peek (Some v) -> reg_read t r v
+    | (V.Queue | V.Stack | V.Priority_queue), V.Put v -> cont_put t r v
+    | (V.Queue | V.Stack | V.Priority_queue), V.Take (Some v) ->
+        cont_take t r v
+    | (V.Queue | V.Stack | V.Priority_queue), V.Peek (Some v) ->
+        cont_peek t r v
+    | (V.Queue | V.Stack | V.Priority_queue), (V.Take None | V.Peek None) ->
+        ()  (* emptiness coverage needs the offline sweep *)
+    | V.Set, V.Put v -> set_add t r v
+    | V.Set, V.Drop v -> set_drop t r v
+    | V.Set, V.Has (v, true) -> set_yes t r v
+    | V.Set, V.Has (v, false) -> set_no t r v
+    | _, obs ->
+        disarm t
+          (Printf.sprintf "observation %s outside the %s vocabulary"
+             (V.obs_to_string obs)
+             (V.kind_to_string t.kind)));
+  t.violation
+
+(* End of run: "never happened" is now certain. *)
+let finalize t : Violation.t option =
+  if t.inert <> None || t.violation <> None then t.violation
+  else begin
+    Hashtbl.iter
+      (fun v s ->
+        match s.put with
+        | None -> (
+            match s.early_obs with
+            | Some o ->
+                viol t
+                  (rule_prefix t.kind ^ ".fresh")
+                  [ o ]
+                  (Printf.sprintf "value %d observed but never inserted" v)
+            | None -> ())
+        | Some add ->
+            List.iter
+              (fun (fop : Record.t) ->
+                let out_of_the_way (d : Record.t) =
+                  Rat.lt fop.finish d.start || Rat.lt d.finish add.Record.start
+                in
+                if List.for_all out_of_the_way s.drops then
+                  viol t "set.false-read"
+                    ([ fop; add ] @ s.drops)
+                    (Printf.sprintf
+                       "absence of %d observed while it is forced present" v))
+              s.falses)
+      t.vals;
+    (if not t.put0 then
+       List.iter
+         (fun (r : Record.t) ->
+           match Pmax.query t.writes ~below:r.Record.start with
+           | Some (_, w') ->
+               viol t "register.stale" [ r; w' ]
+                 "read of the initial value after a completed write"
+           | None -> ())
+         t.initial_reads);
+    t.violation
+  end

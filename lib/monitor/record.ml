@@ -1,0 +1,320 @@
+(* Interval records: the monitors' view of a completed history.
+
+   The front end in [Monitor.Make] translates each completed operation
+   into a record carrying only its canonical observation
+   ([Spec.Adt_view.obs]) and real-time interval.  Everything the
+   per-type monitors do — necessary-pattern scans, greedy
+   linearization, the real-time sweep — works on arrays of these, so
+   the kernels stay generic over data types.
+
+   Conventions shared by all kernels:
+   - records are indexed by [id], their position in the checked history;
+   - [precedes a b] is the Herlihy-Wing real-time order: [a] responds
+     strictly before [b] is invoked;
+   - kernels may assume the history is {e unambiguous} — each [Put v]
+     value appears at most once — the dispatcher checks this before
+     dispatching and falls back to Wing-Gong otherwise. *)
+
+type t = {
+  id : int;
+  proc : int;
+  obs : Spec.Adt_view.obs;
+  start : Rat.t;  (** invocation time *)
+  finish : Rat.t;  (** response time *)
+}
+
+let precedes a b = Rat.lt a.finish b.start
+
+let culprit (r : t) : Violation.culprit =
+  { index = r.id; proc = r.proc; obs = r.obs; start = r.start; finish = r.finish }
+
+(* What a kernel decides.  [Order] is a candidate linearization (record
+   ids, first to last) that the dispatcher re-verifies by semantic
+   replay and a real-time sweep before trusting — an accept is always
+   certificate-backed.  [Violation] carries a witness justified by a
+   necessary condition, so it is sound on its own.  [Unknown] sends the
+   history to the Wing-Gong fallback (ambiguity, an observation outside
+   the kernel's vocabulary, or greedy incompleteness). *)
+type outcome =
+  | Order of int list
+  | Violation of Violation.t
+  | Unknown of string
+
+let sorted_by ~key records =
+  let a = Array.copy records in
+  Array.sort (fun x y -> Rat.compare (key x) (key y)) a;
+  a
+
+let sorted_by_start records = sorted_by ~key:(fun r -> r.start) records
+let sorted_by_finish records = sorted_by ~key:(fun r -> r.finish) records
+
+(* Real-time sweep (paper §2.3): an order [pi] respects real time iff
+   no operation finishes before an earlier-placed one starts.  Keep the
+   running max of invocation times over the prefix; a later operation
+   whose response time is below that max was forced before some already
+   placed operation.  O(n) over the proposed order; returns the
+   offending pair (earlier-placed, misplaced) for diagnostics. *)
+let real_time_conflict (records : t array) (order : int list) :
+    (t * t) option =
+  let worst = ref None in
+  (* latest-starting operation placed so far *)
+  let check acc id =
+    match acc with
+    | Some _ -> acc
+    | None -> (
+        let r = records.(id) in
+        let conflict =
+          match !worst with
+          | Some w when Rat.lt r.finish w.start -> Some (w, r)
+          | _ -> None
+        in
+        (match !worst with
+        | Some w when Rat.le r.start w.start -> ()
+        | _ -> worst := Some r);
+        conflict)
+  in
+  List.fold_left check None order
+
+(* --- Per-value classes -------------------------------------------------
+
+   The container kernels (queue, stack, priority queue) all start by
+   grouping records by value: the unique [Put v], the unique
+   [Take (Some v)], and the [Peek (Some v)] observations, plus the
+   shared pool of empty observations ([Take None] / [Peek None]).
+   Building the classes also performs the cheap per-value necessary
+   patterns common to every container:
+
+   - take/peek of a value never put      ("fresh")
+   - two takes of the same value         ("repeat")
+   - take/peek entirely before the put   ("before-put")
+   - peek entirely after the take        ("after-take")
+
+   Each is a necessary condition for {e any} container in which [Put]
+   inserts a fresh value, [Take] removes it, and [Peek] observes it
+   without removing — so a hit is a sound violation for queue, stack,
+   and priority queue alike. *)
+
+type value_class = {
+  value : int;
+  mutable put : t option;
+  mutable take : t option;
+  mutable peeks : t list;
+}
+
+type classes = {
+  by_value : (int, value_class) Hashtbl.t;
+  mutable values : value_class list;  (** insertion order, puts first *)
+  mutable empties : t list;  (** [Take None] and [Peek None] *)
+}
+
+let class_for classes v =
+  match Hashtbl.find_opt classes.by_value v with
+  | Some c -> c
+  | None ->
+      let c = { value = v; put = None; take = None; peeks = [] } in
+      Hashtbl.add classes.by_value v c;
+      classes.values <- c :: classes.values;
+      c
+
+let violation ~kind ~rule culprits message =
+  Violation (Violation.make ~kind ~rule ~culprits:(List.map culprit culprits) message)
+
+(* Group records and run the per-value patterns.  [Ok classes] when no
+   cheap pattern fires; kernels then continue with shape-specific
+   scans.  Records with observations outside the container vocabulary
+   yield [Unknown] (the dispatcher falls back). *)
+let classify ~kind (records : t array) : (classes, outcome) result =
+  let classes =
+    { by_value = Hashtbl.create 97; values = []; empties = [] }
+  in
+  let outcome = ref None in
+  let flag o = if !outcome = None then outcome := Some o in
+  Array.iter
+    (fun r ->
+      match !outcome with
+      | Some _ -> ()
+      | None -> (
+          match r.obs with
+          | Spec.Adt_view.Put v ->
+              let c = class_for classes v in
+              (match c.put with
+              | Some first ->
+                  flag
+                    (violation ~kind ~rule:"container.ambiguous" [ r; first ]
+                       (Printf.sprintf
+                          "value %d inserted twice; history is ambiguous" v))
+                  (* not a semantic violation: report as Unknown below *)
+              | None -> c.put <- Some r)
+          | Take (Some v) -> (
+              let c = class_for classes v in
+              match c.take with
+              | Some first ->
+                  flag
+                    (violation ~kind ~rule:"container.repeat" [ r; first ]
+                       (Printf.sprintf "value %d taken twice" v))
+              | None -> c.take <- Some r)
+          | Peek (Some v) ->
+              let c = class_for classes v in
+              c.peeks <- r :: c.peeks
+          | Take None | Peek None -> classes.empties <- r :: classes.empties
+          | Has _ | Drop _ | Opaque ->
+              flag
+                (Unknown
+                   (Printf.sprintf "observation %s outside container vocabulary"
+                      (Spec.Adt_view.obs_to_string r.obs)))))
+    records;
+  (* Insertion-twice is ambiguity, not a violation: downgrade. *)
+  (match !outcome with
+  | Some (Violation v) when v.Violation.rule = "container.ambiguous" ->
+      outcome := Some (Unknown v.Violation.message)
+  | _ -> ());
+  (* fresh / before-put / after-take *)
+  (match !outcome with
+  | Some _ -> ()
+  | None ->
+      List.iter
+        (fun c ->
+          if !outcome = None then
+            match c.put with
+            | None ->
+                let evidence =
+                  match (c.take, c.peeks) with
+                  | Some t, _ -> Some t
+                  | None, p :: _ -> Some p
+                  | None, [] -> None
+                in
+                Option.iter
+                  (fun e ->
+                    flag
+                      (violation ~kind ~rule:"container.fresh" [ e ]
+                         (Printf.sprintf
+                            "value %d observed but never inserted" c.value)))
+                  evidence
+            | Some put ->
+                let before_put e =
+                  if Rat.lt e.finish put.start then
+                    flag
+                      (violation ~kind ~rule:"container.before-put" [ e; put ]
+                         (Printf.sprintf
+                            "value %d observed entirely before its insertion"
+                            c.value))
+                in
+                Option.iter before_put c.take;
+                List.iter before_put c.peeks;
+                (match c.take with
+                | Some take ->
+                    List.iter
+                      (fun p ->
+                        if Rat.lt take.finish p.start then
+                          flag
+                            (violation ~kind ~rule:"container.after-take"
+                               [ p; take ]
+                               (Printf.sprintf
+                                  "value %d observed entirely after its removal"
+                                  c.value)))
+                      c.peeks
+                | None -> ()))
+        classes.values);
+  match !outcome with
+  | Some o -> Error o
+  | None ->
+      classes.values <- List.rev classes.values;
+      classes.empties <- List.rev classes.empties;
+      Ok classes
+
+(* --- Empty-observation coverage ---------------------------------------
+
+   A [Take None] / [Peek None] at interval [s, f] is impossible iff
+   every point of [s, f] is covered by some value that is {e forced}
+   present there: inserted with response before the point and removed
+   (if ever) with invocation after it.  Each such value contributes the
+   open interval (finish of put, start of take) — or (finish of put,
+   +inf) when never taken.  The observation is a violation iff the
+   open-interval union covers the whole closed [s, f]; sweep the
+   covers sorted by lower end (HSV-style VWit aspect, generalized to
+   any container whose emptiness is "no value present"). *)
+let empty_uncoverable ~kind (classes : classes) : outcome option =
+  match classes.empties with
+  | [] -> None
+  | empties ->
+      let covers =
+        List.filter_map
+          (fun c ->
+            match c.put with
+            | None -> None
+            | Some put ->
+                let hi = Option.map (fun t -> t.start) c.take in
+                Some (put.finish, hi, c))
+          classes.values
+      in
+      let covers =
+        Array.of_list
+          (List.sort (fun (a, _, _) (b, _, _) -> Rat.compare a b) covers)
+      in
+      let n = Array.length covers in
+      let check (e : t) =
+        (* [p] is the leftmost point of [s, f] not yet shown covered.
+           Absorb covers opening strictly below [p]; the furthest close
+           among them extends coverage to an open bound.  A cover with
+           no take covers through +inf. *)
+        let p = ref e.start in
+        let i = ref 0 in
+        let covered = ref false and stuck = ref false in
+        let wits = ref [] in
+        while not (!covered || !stuck) do
+          let best = ref None in
+          (* [Some None] = unbounded, [Some (Some h)] = closes at h *)
+          while
+            !i < n
+            &&
+            let lo, _, _ = covers.(!i) in
+            Rat.lt lo !p
+          do
+            let _, hi, c = covers.(!i) in
+            (match (!best, hi) with
+            | Some None, _ -> ()
+            | _, None ->
+                best := Some None;
+                wits := c :: !wits
+            | None, Some h ->
+                best := Some (Some h);
+                wits := c :: !wits
+            | Some (Some b), Some h ->
+                if Rat.lt b h then begin
+                  best := Some (Some h);
+                  wits := c :: !wits
+                end);
+            incr i
+          done;
+          match !best with
+          | Some None -> covered := true
+          | Some (Some h) when Rat.lt !p h ->
+              if Rat.lt e.finish h then covered := true else p := h
+          | _ -> stuck := true
+        done;
+        if !covered then Some !wits else None
+      in
+      let witness e wits =
+        (* keep the report small: the empty observation plus the first
+           few covering put/take pairs *)
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | c :: rest -> c :: take (k - 1) rest
+        in
+        let culprits =
+          e
+          :: List.concat_map
+               (fun c ->
+                 match (c.put, c.take) with
+                 | Some p, Some t -> [ p; t ]
+                 | Some p, None -> [ p ]
+                 | None, _ -> [])
+               (take 4 (List.rev wits))
+        in
+        violation ~kind ~rule:"container.nonempty" culprits
+          "empty observation while some value is provably present"
+      in
+      List.find_map
+        (fun e -> Option.map (fun wits -> witness e wits) (check e))
+        empties

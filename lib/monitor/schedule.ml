@@ -1,0 +1,189 @@
+(* Lazy-insertion construction of a candidate linearization for
+   container histories (queue, stack, priority queue).
+
+   The kernel fixes an insertion order for the values (a linear
+   extension of every precedence real time forces — each kernel picks
+   the extension its shape wants) and this scheduler replays the
+   history against an abstract container of that shape.  It keeps
+   servicing the access point (head / top / max) — peeks of the value
+   there, then its take — and grows the container only when real time
+   {e forces} the next insertion: some operation of a pending value
+   finishes before the current head operation starts (tracked as a
+   suffix-minimum over insertion deadlines, since a forced late value
+   drags every value ordered before it along).  Every operation emitted
+   while an insertion stays deferred is then conflict-free against all
+   of the deferred values' operations.  Empty observations fire
+   whenever the container is empty; when the head carries no pending
+   operation, inserting is the only way to make progress.
+
+   The result is semantically legal by construction; the dispatcher
+   still re-verifies it (replay + real-time sweep) before accepting.
+   When no operation is enabled but work remains, the scheduler gives
+   up with [Unknown] and the dispatcher falls back to Wing-Gong — the
+   scheduler is sound but deliberately not complete. *)
+
+type item = {
+  cls : Record.value_class;
+  mutable peeks : Record.t list;  (** remaining, sorted by response *)
+}
+
+module Imap = Map.Make (Int)
+
+type container =
+  | Fifo of item list * item list  (* front (never empty alone), back *)
+  | Lifo of item list
+  | Prio of item Imap.t
+
+type shape = Queue_shape | Stack_shape | Priority_shape
+
+let create = function
+  | Queue_shape -> Fifo ([], [])
+  | Stack_shape -> Lifo []
+  | Priority_shape -> Prio Imap.empty
+
+let norm = function Fifo ([], back) -> Fifo (List.rev back, []) | c -> c
+
+let insert c it =
+  norm
+    (match c with
+    | Fifo (front, back) -> Fifo (front, it :: back)
+    | Lifo items -> Lifo (it :: items)
+    | Prio m -> Prio (Imap.add it.cls.Record.value it m))
+
+let head = function
+  | Fifo (h :: _, _) | Lifo (h :: _) -> Some h
+  | Prio m -> Option.map snd (Imap.max_binding_opt m)
+  | Fifo ([], _) | Lifo [] -> None
+
+let remove_head c =
+  norm
+    (match c with
+    | Fifo (_ :: front, back) -> Fifo (front, back)
+    | Lifo (_ :: items) -> Lifo items
+    | Prio m -> Prio (Imap.remove (fst (Imap.max_binding m)) m)
+    | Fifo ([], _) | Lifo [] -> assert false)
+
+let by_finish (a : Record.t) (b : Record.t) = Rat.compare a.finish b.finish
+
+type action = Insert | Peek of Record.t | Take of Record.t | Empty
+
+(* [run ~shape ~order ~empties]: [order] is the insertion sequence over
+   value classes (every class has a put — the cheap patterns rejected
+   fresh observations already). *)
+let run ~shape ~(order : Record.value_class list)
+    ~(empties : Record.t list) : Record.outcome =
+  let items =
+    Array.of_list
+      (List.map
+         (fun c -> { cls = c; peeks = List.sort by_finish c.Record.peeks })
+         order)
+  in
+  let put it = Option.get it.cls.Record.put in
+  let deadline it =
+    let d = (put it).Record.finish in
+    let d =
+      match it.cls.Record.take with
+      | Some (t : Record.t) -> Rat.min d t.finish
+      | None -> d
+    in
+    List.fold_left (fun acc (p : Record.t) -> Rat.min acc p.finish) d it.peeks
+  in
+  let deadlines = Array.map deadline items in
+  (* earliest deadline among the insertions from [i] on: a later value
+     being forced pulls every insertion ordered before it along *)
+  let n_items = Array.length items in
+  let sufmin = Array.make (n_items + 1) None in
+  for i = n_items - 1 downto 0 do
+    sufmin.(i) <-
+      (match sufmin.(i + 1) with
+      | Some d -> Some (Rat.min d deadlines.(i))
+      | None -> Some deadlines.(i))
+  done;
+  let empties = Array.of_list (List.sort by_finish empties) in
+  let total =
+    Array.fold_left
+      (fun acc it ->
+        acc + 1
+        + (match it.cls.Record.take with Some _ -> 1 | None -> 0)
+        + List.length it.peeks)
+      0 items
+    + Array.length empties
+  in
+  let acc = ref [] in
+  let emitted = ref 0 in
+  let next_ins = ref 0 and next_emp = ref 0 in
+  let cont = ref (create shape) in
+  let stuck = ref false in
+  (* the head's pending operation, if any: first peek, else the take *)
+  let head_op h =
+    match h.peeks with
+    | (p : Record.t) :: _ -> Some (Peek p, p)
+    | [] -> (
+        match h.cls.Record.take with
+        | Some (t : Record.t) -> Some (Take t, t)
+        | None -> None)
+  in
+  while !emitted < total && not !stuck do
+    (* Lazy insertion: keep servicing the access point and only grow
+       the container when real time forces it — some operation of the
+       next value (its put, or an op waiting on its presence) finishes
+       before the head's current operation starts.  Every operation
+       emitted while the insertion stays deferred is then conflict-free
+       against all of the deferred value's operations: its deadline
+       (the minimum of those finishes) was >= the emitted op's start. *)
+    let head_cand =
+      match head !cont with
+      | Some h -> Option.map (fun (a, (o : Record.t)) -> (o, a)) (head_op h)
+      | None ->
+          if !next_emp < Array.length empties then
+            Some (empties.(!next_emp), Empty)
+          else None
+    in
+    let insert_ready = !next_ins < Array.length items in
+    let chosen =
+      match head_cand with
+      | Some ((o : Record.t), a) ->
+          let forced =
+            insert_ready
+            &&
+            match sufmin.(!next_ins) with
+            | Some d -> Rat.lt d o.start
+            | None -> false
+          in
+          if forced then Some Insert else Some a
+      | None -> if insert_ready then Some Insert else None
+    in
+    match chosen with
+    | None -> stuck := true
+    | Some action ->
+        (match action with
+        | Insert ->
+            let it = items.(!next_ins) in
+            incr next_ins;
+            acc := (put it).Record.id :: !acc;
+            cont := insert !cont it
+        | Peek p ->
+            let h = Option.get (head !cont) in
+            h.peeks <- List.tl h.peeks;
+            acc := p.Record.id :: !acc
+        | Take t ->
+            cont := remove_head !cont;
+            acc := t.Record.id :: !acc
+        | Empty ->
+            acc := empties.(!next_emp).Record.id :: !acc;
+            incr next_emp);
+        incr emitted
+  done;
+  if !stuck then
+    Record.Unknown
+      (Printf.sprintf
+         "greedy scheduler stuck after %d/%d operations (head %s, next \
+          insertion %s)"
+         !emitted total
+         (match head !cont with
+         | Some h -> string_of_int h.cls.Record.value
+         | None -> "-")
+         (if !next_ins < Array.length items then
+            string_of_int items.(!next_ins).cls.Record.value
+          else "-"))
+  else Record.Order (List.rev !acc)

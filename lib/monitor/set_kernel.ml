@@ -1,0 +1,226 @@
+(* Set monitor: values are mutually independent, so the history
+   decomposes per value — each value sees at most one [Put] (add), at
+   most one [Drop] (remove; more than one falls back), and any number
+   of [Has] membership tests.
+
+   Necessary patterns per value:
+   - [set.fresh]       membership true although the value was never added;
+   - [set.before-add]  membership true entirely before the add;
+   - [set.after-drop]  membership true although the remove is forced
+                       between the add and the test;
+   - [set.false-read]  membership false although the add is forced
+                       before the test and the remove (if any) after it.
+
+   Certificate: per value, place the add as early and the (active)
+   remove as late as their intervals allow, route each membership test
+   to the matching side, and give every operation a virtual
+   linearization point inside its own interval.  Sorting all
+   operations of all values by these points yields a global order that
+   respects real time whenever the points do — the dispatcher's replay
+   and sweep confirm it.  Any per-value infeasibility returns [Unknown]
+   and the history goes to Wing-Gong. *)
+
+module V = Spec.Adt_view
+
+let kind = V.Set
+
+type value_ops = {
+  value : int;
+  mutable add : Record.t option;
+  mutable drops : Record.t list;
+  mutable yes : Record.t list;  (** Has (v, true) *)
+  mutable no : Record.t list;  (** Has (v, false) *)
+}
+
+(* Virtual linearization point: primary key the rational point, [seq]
+   breaks exact ties in per-value semantic order (false-before /
+   inactive drop, add, true tests, active drop, false-after). *)
+type keyed = { key : Rat.t; seq : int; id : int }
+
+let check (records : Record.t array) : Record.outcome =
+  let table : (int, value_ops) Hashtbl.t = Hashtbl.create 97 in
+  let ops_for v =
+    match Hashtbl.find_opt table v with
+    | Some o -> o
+    | None ->
+        let o = { value = v; add = None; drops = []; yes = []; no = [] } in
+        Hashtbl.add table v o;
+        o
+  in
+  let bad = ref None in
+  let flag o = if !bad = None then bad := Some o in
+  Array.iter
+    (fun (r : Record.t) ->
+      match r.obs with
+      | V.Put v -> (
+          let o = ops_for v in
+          match o.add with
+          | Some _ ->
+              flag
+                (Record.Unknown
+                   (Printf.sprintf "value %d added twice; ambiguous" v))
+          | None -> o.add <- Some r)
+      | V.Drop v ->
+          let o = ops_for v in
+          o.drops <- r :: o.drops
+      | V.Has (v, b) ->
+          let o = ops_for v in
+          if b then o.yes <- r :: o.yes else o.no <- r :: o.no
+      | _ ->
+          flag
+            (Record.Unknown
+               (Printf.sprintf "observation %s outside set vocabulary"
+                  (V.obs_to_string r.obs))))
+    records;
+  let keyed = ref [] in
+  let emit key seq (r : Record.t) =
+    keyed := { key; seq; id = r.id } :: !keyed
+  in
+  let solve (o : value_ops) =
+    if !bad <> None then ()
+    else
+      match o.add with
+      | None -> (
+          (* never added: membership must read false, drops are no-ops *)
+          match o.yes with
+          | t :: _ ->
+              flag
+                (Record.violation ~kind ~rule:"set.fresh" [ t ]
+                   (Printf.sprintf
+                      "membership of %d observed but value never added"
+                      o.value))
+          | [] ->
+              List.iter
+                (fun (r : Record.t) -> emit r.start 0 r)
+                (o.drops @ o.no))
+      | Some add -> (
+          let drop =
+            match o.drops with
+            | [] -> None
+            | [ d ] -> Some d
+            | _ :: _ :: _ ->
+                flag
+                  (Record.Unknown
+                     (Printf.sprintf "value %d removed twice; ambiguous"
+                        o.value));
+                None
+          in
+          if !bad <> None then ()
+          else begin
+            (* necessary patterns first *)
+            List.iter
+              (fun (t : Record.t) ->
+                if Rat.lt t.finish add.start then
+                  flag
+                    (Record.violation ~kind ~rule:"set.before-add" [ t; add ]
+                       (Printf.sprintf
+                          "membership of %d observed entirely before its add"
+                          o.value))
+                else
+                  match drop with
+                  | Some d
+                    when Rat.lt add.finish d.start && Rat.lt d.finish t.start
+                    ->
+                      flag
+                        (Record.violation ~kind ~rule:"set.after-drop"
+                           [ t; add; d ]
+                           (Printf.sprintf
+                              "membership of %d observed after a forced \
+                               remove"
+                              o.value))
+                  | _ -> ())
+              o.yes;
+            List.iter
+              (fun (f : Record.t) ->
+                if
+                  Rat.lt add.finish f.start
+                  &&
+                  match drop with
+                  | None -> true
+                  | Some d -> Rat.lt f.finish d.start
+                then
+                  flag
+                    (Record.violation ~kind ~rule:"set.false-read"
+                       ([ f; add ] @ Option.to_list drop)
+                       (Printf.sprintf
+                          "absence of %d observed while it is forced present"
+                          o.value)))
+              o.no;
+            if !bad <> None then ()
+            else begin
+              (* certificate: add early, active drop late *)
+              let pa = add.start in
+              let active =
+                (* a drop finishing before the add can start must be the
+                   inactive (no-op, pre-add) kind *)
+                match drop with
+                | Some d when Rat.le pa d.finish -> Some d
+                | _ -> None
+              in
+              let inactive =
+                match (drop, active) with
+                | Some d, None -> Some d
+                | _ -> None
+              in
+              let pd = Option.map (fun (d : Record.t) -> d.finish) active in
+              let infeasible = ref None in
+              let need msg cond = if not cond && !infeasible = None then infeasible := Some msg in
+              Option.iter
+                (fun (d : Record.t) ->
+                  need "inactive remove after add" (Rat.le d.start pa))
+                inactive;
+              List.iter
+                (fun (t : Record.t) ->
+                  need "membership test outside presence window"
+                    (Rat.le pa t.finish
+                    &&
+                    match pd with
+                    | None -> true
+                    | Some pd -> Rat.le (Rat.max t.start pa) pd))
+                o.yes;
+              List.iter
+                (fun (f : Record.t) ->
+                  need "false test inside presence window"
+                    (Rat.le f.start pa
+                    || match pd with None -> false | Some pd -> Rat.le pd f.finish))
+                o.no;
+              match !infeasible with
+              | Some msg ->
+                  flag
+                    (Record.Unknown
+                       (Printf.sprintf "set value %d: %s" o.value msg))
+              | None ->
+                  Option.iter (fun (d : Record.t) -> emit d.start 0 d) inactive;
+                  emit pa 1 add;
+                  List.iter
+                    (fun (t : Record.t) -> emit (Rat.max t.start pa) 2 t)
+                    o.yes;
+                  Option.iter (fun (d : Record.t) -> emit d.finish 3 d) active;
+                  List.iter
+                    (fun (f : Record.t) ->
+                      if Rat.le f.start pa then emit f.start 0 f
+                      else
+                        emit
+                          (match pd with
+                          | Some pd -> Rat.max f.start pd
+                          | None -> f.start)
+                          4 f)
+                    o.no
+            end
+          end)
+  in
+  Hashtbl.iter (fun _ o -> solve o) table;
+  match !bad with
+  | Some o -> o
+  | None ->
+      let sorted =
+        List.sort
+          (fun a b ->
+            let c = Rat.compare a.key b.key in
+            if c <> 0 then c
+            else
+              let c = compare a.seq b.seq in
+              if c <> 0 then c else compare a.id b.id)
+          !keyed
+      in
+      Order (List.map (fun k -> k.id) sorted)

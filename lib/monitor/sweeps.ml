@@ -1,0 +1,366 @@
+(* Shared O(n log n) order-pattern sweeps for the container kernels.
+
+   Both sweeps look for the same shape of necessary violation: an
+   operation observes value [x] at the container's access point (head,
+   top, or max) although some other value is {e forced} to be ahead of
+   it there — inserted early enough that every linearization places it
+   in the container before the observation, and removed too late (or
+   never) for any linearization to have gotten it out of the way.
+
+   - [queue_fifo] (HSV VOrd aspect): value [u] forced enqueued before
+     [v] (finish of enq u < start of enq v) must be dequeued before any
+     observation of [v] at the head.
+   - [forced_above] (shared by stack and priority queue): candidates
+     keyed by a rational — start of the push for LIFO ("pushed later"),
+     the priority itself for the priority queue ("bigger") — absorbed in
+     response-of-insert order and queried by a Fenwick tree holding the
+     latest forced removal per key suffix. *)
+
+module V = Spec.Adt_view
+
+(* How long a candidate value provably stays in the container: forever
+   if never taken, else until its take could earliest linearize. *)
+type avail =
+  | Never of Record.value_class
+  | Until of Rat.t * Record.value_class
+
+let better a b =
+  match (a, b) with
+  | Never _, _ -> a
+  | _, Never _ -> b
+  | Until (x, _), Until (y, _) -> if Rat.le y x then a else b
+
+(* --- queue: FIFO order -------------------------------------------- *)
+
+(* Values with head evidence (a take or peek returning them), iterated
+   by start of their put; candidates absorbed once their put's finish
+   drops below that start.  One running "first untaken" plus a running
+   max of take starts decides both branches of the pattern. *)
+let queue_fifo ~kind (classes : Record.classes) : Record.outcome option =
+  let with_put = List.filter (fun c -> c.Record.put <> None) classes.values in
+  let put c = Option.get c.Record.put in
+  let evidence c =
+    let ops =
+      (match c.Record.take with Some t -> [ t ] | None -> []) @ c.Record.peeks
+    in
+    match ops with
+    | [] -> None
+    | o :: rest ->
+        Some
+          (List.fold_left
+             (fun (best : Record.t) (o : Record.t) ->
+               if Rat.lt o.finish best.finish then o else best)
+             o rest)
+  in
+  let observed =
+    List.filter_map
+      (fun c -> Option.map (fun o -> (c, o)) (evidence c))
+      with_put
+  in
+  let observed =
+    List.sort
+      (fun (a, _) (b, _) -> Rat.compare (put a).Record.start (put b).Record.start)
+      observed
+  in
+  let candidates =
+    Array.of_list
+      (List.sort
+         (fun a b -> Rat.compare (put a).Record.finish (put b).Record.finish)
+         with_put)
+  in
+  let nc = Array.length candidates in
+  let i = ref 0 in
+  let untaken = ref None in
+  let latest = ref None in
+  (* max take start among absorbed taken candidates *)
+  List.find_map
+    (fun (c, (o : Record.t)) ->
+      let s_put = (put c).Record.start in
+      while !i < nc && Rat.lt (put candidates.(!i)).Record.finish s_put do
+        let u = candidates.(!i) in
+        (match u.Record.take with
+        | None -> if !untaken = None then untaken := Some u
+        | Some t ->
+            let beats =
+              match !latest with
+              | Some (s, _) -> Rat.lt s t.Record.start
+              | None -> true
+            in
+            if beats then latest := Some (t.Record.start, u));
+        incr i
+      done;
+      match !untaken with
+      | Some u ->
+          Some
+            (Record.violation ~kind ~rule:"queue.fifo-order"
+               [ o; put c; put u ]
+               (Printf.sprintf
+                  "value %d observed at the head but value %d is forced \
+                   ahead of it and never taken"
+                  c.Record.value u.Record.value))
+      | None -> (
+          match !latest with
+          | Some (s, u) when Rat.lt o.finish s ->
+              Some
+                (Record.violation ~kind ~rule:"queue.fifo-order"
+                   [ o; put c; put u; Option.get u.Record.take ]
+                   (Printf.sprintf
+                      "value %d observed at the head before value %d, forced \
+                       ahead of it, could be taken"
+                      c.Record.value u.Record.value))
+          | _ -> None))
+    observed
+
+(* --- stack / priority queue: forced-above ------------------------- *)
+
+(* Max-Fenwick over dense key ranks; [query t r] is the best avail
+   among ranks >= r (stored reversed so the suffix is a prefix). *)
+module Fenwick = struct
+  type t = { size : int; cells : avail option array }
+
+  let make size = { size; cells = Array.make (size + 1) None }
+
+  let update t rank v =
+    let i = ref (t.size - rank + 1) in
+    while !i <= t.size do
+      (t.cells).(!i) <-
+        (match (t.cells).(!i) with
+        | None -> Some v
+        | Some w -> Some (better v w));
+      i := !i + (!i land - !i)
+    done
+
+  let query_suffix t rank =
+    let i = ref (t.size - rank + 1) in
+    let acc = ref None in
+    while !i > 0 do
+      (match (t.cells).(!i) with
+      | Some v ->
+          acc := Some (match !acc with None -> v | Some w -> better v w)
+      | None -> ());
+      i := !i - (!i land - !i)
+    done;
+    !acc
+end
+
+(* [forced_above ~kind ~rule ~key ~threshold classes]: for each take or
+   peek observation [o] returning value [x], a violation exists iff
+   some candidate [v] with [finish (put v) < start o] and
+   [key v > threshold x o] is forced present at [o]'s linearization
+   point (never taken, or its take starts after [o] finishes). *)
+let forced_above ~kind ~rule ~describe ~key ~threshold
+    (classes : Record.classes) : Record.outcome option =
+  let with_put = List.filter (fun c -> c.Record.put <> None) classes.values in
+  let put c = Option.get c.Record.put in
+  let evidence =
+    List.concat_map
+      (fun c ->
+        let ops =
+          (match c.Record.take with Some t -> [ t ] | None -> [])
+          @ c.Record.peeks
+        in
+        List.map (fun o -> (c, o)) ops)
+      with_put
+  in
+  let evidence =
+    List.sort
+      (fun ((_, a) : _ * Record.t) ((_, b) : _ * Record.t) ->
+        Rat.compare a.start b.start)
+      evidence
+  in
+  (* dense ranks for candidate keys *)
+  let keys = List.map key with_put in
+  let sorted_keys = List.sort_uniq Rat.compare keys in
+  let rank_of =
+    let tbl = Hashtbl.create 97 in
+    List.iteri (fun i k -> Hashtbl.add tbl (Rat.to_string k) (i + 1)) sorted_keys;
+    fun k -> Hashtbl.find tbl (Rat.to_string k)
+  in
+  let rank_arr = Array.of_list sorted_keys in
+  let m = Array.length rank_arr in
+  (* least rank with key strictly above the threshold *)
+  let rank_above t =
+    let lo = ref 0 and hi = ref m in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Rat.le rank_arr.(mid) t then lo := mid + 1 else hi := mid
+    done;
+    !lo + 1
+  in
+  let fen = Fenwick.make m in
+  let candidates =
+    Array.of_list
+      (List.sort
+         (fun a b -> Rat.compare (put a).Record.finish (put b).Record.finish)
+         with_put)
+  in
+  let nc = Array.length candidates in
+  let i = ref 0 in
+  List.find_map
+    (fun (c, (o : Record.t)) ->
+      while !i < nc && Rat.lt (put candidates.(!i)).Record.finish o.start do
+        let v = candidates.(!i) in
+        let a =
+          match v.Record.take with
+          | None -> Never v
+          | Some t -> Until (t.Record.start, v)
+        in
+        Fenwick.update fen (rank_of (key v)) a;
+        incr i
+      done;
+      let r = rank_above (threshold c o) in
+      if r > m then None
+      else
+        match Fenwick.query_suffix fen r with
+        | Some (Never v) when v != c ->
+            Some
+              (Record.violation ~kind ~rule
+                 [ o; put c; put v ]
+                 (describe c v ^ " and never taken"))
+        | Some (Until (s, v)) when v != c && Rat.lt o.finish s ->
+            Some
+              (Record.violation ~kind ~rule
+                 [ o; put c; put v; Option.get v.Record.take ]
+                 (describe c v ^ " until after the observation"))
+        | _ -> None)
+    evidence
+
+(* --- value insertion order ---------------------------------------- *)
+
+(* The phase of a value: its take plus its peeks — the operations that
+   observe it at the container's access point. *)
+let phase_keys (c : Record.value_class) =
+  let ops =
+    (match c.Record.take with Some t -> [ t ] | None -> []) @ c.Record.peeks
+  in
+  match ops with
+  | [] -> (None, None)
+  | (o : Record.t) :: rest ->
+      let fmin =
+        List.fold_left
+          (fun a (r : Record.t) -> Rat.min a r.finish)
+          o.finish rest
+      and smax =
+        List.fold_left
+          (fun a (r : Record.t) -> Rat.max a r.start)
+          o.start rest
+      in
+      (Some fmin, Some smax)
+
+type order_style =
+  | Fifo_order
+      (** queue: phases run in value order, so the phase intervals are a
+          second interval order over the values *)
+  | Push_order
+      (** stack: only the put order and gone-before-put precedences
+          constrain the insertion sequence; the preference tiers encode
+          LIFO burying *)
+  | Prio_order
+      (** priority queue: insertion order is semantically free (the
+          container sorts by value), so the best candidate is the real
+          put order — a late-pushed maximum must not shadow earlier
+          observations *)
+
+(* A linear extension of every precedence real time forces on the
+   insertion sequence:
+   - put(u) entirely before put(v): u inserted first;
+   - u's whole phase entirely before put(v): u was inserted, observed
+     and removed before v existed;
+   - (FIFO only) u's phase entirely before v's phase: the head reigns
+     happen in insertion order. *)
+let value_order ~style (classes : Record.classes) :
+    Record.value_class list option =
+  let vals =
+    Array.of_list
+      (List.filter (fun c -> c.Record.put <> None) classes.values)
+  in
+  let m = Array.length vals in
+  let put i = Option.get vals.(i).Record.put in
+  let fe = Array.init m (fun i -> Some (put i).Record.finish) in
+  let se = Array.init m (fun i -> Some (put i).Record.start) in
+  let fp = Array.make m None and sp = Array.make m None in
+  Array.iteri
+    (fun i c ->
+      let f, s = phase_keys c in
+      fp.(i) <- f;
+      sp.(i) <- s)
+    vals;
+  let put_order = { Extension.fkey = fe; skey = se } in
+  let gone_before_put = { Extension.fkey = fp; skey = se } in
+  (* LIFO residency edges: an observation of [w] forced to happen while
+     [u] is provably in the container (put finished before the
+     observation starts, take starts after it finishes) pins [u] below
+     [w], hence inserted first.  This conjunction fits no single
+     interval-order relation.  Pairs already ordered by [put_order] are
+     skipped, so only values with overlapping puts are scanned — the
+     candidate range is bounded by the history's concurrency width. *)
+  let residency_edges () =
+    let by_fe =
+      let a = Array.init m Fun.id in
+      Array.sort
+        (fun i j -> Rat.compare (Option.get fe.(i)) (Option.get fe.(j)))
+        a;
+      a
+    in
+    (* first position in [by_fe] with fe >= x *)
+    let lower x =
+      let lo = ref 0 and hi = ref m in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Rat.lt (Option.get fe.(by_fe.(mid))) x then lo := mid + 1
+        else hi := mid
+      done;
+      !lo
+    in
+    let edges = ref [] in
+    for w = 0 to m - 1 do
+      let obs =
+        (match vals.(w).Record.take with Some t -> [ t ] | None -> [])
+        @ vals.(w).Record.peeks
+      in
+      List.iter
+        (fun (o : Record.t) ->
+          let lo = lower (Option.get se.(w)) and hi = lower o.start in
+          for k = lo to hi - 1 do
+            let u = by_fe.(k) in
+            if
+              u <> w
+              && Rat.lt (Option.get fe.(u)) o.start
+              &&
+              match vals.(u).Record.take with
+              | None -> true
+              | Some (t : Record.t) -> Rat.lt o.finish t.start
+            then edges := (u, w) :: !edges
+          done)
+        obs
+    done;
+    !edges
+  in
+  let relations, prefer =
+    match style with
+    | Fifo_order ->
+        let phase_order = { Extension.fkey = fp; skey = sp } in
+        ( [ put_order; phase_order; gone_before_put ],
+          fun i ->
+            match (vals.(i).Record.take, fp.(i)) with
+            | Some (t : Record.t), _ ->
+                (0, t.finish)  (* takes run in insertion order *)
+            | None, Some f -> (1, f)  (* peeked but never taken: near the end *)
+            | None, None -> (2, (put i).Record.finish) (* never observed: last *)
+        )
+    | Push_order ->
+        (* the residency edges pin every observably-forced depth
+           relation; among the rest, put-finish order is the best guess
+           at the real push order *)
+        ( [ put_order; gone_before_put ],
+          fun i -> (0, (put i).Record.finish) )
+    | Prio_order ->
+        ( [ put_order; gone_before_put ],
+          fun i -> (0, (put i).Record.finish) )
+  in
+  let edges =
+    match style with Push_order -> residency_edges () | _ -> []
+  in
+  match Extension.solve ~m ~relations ~edges prefer with
+  | None -> None
+  | Some idx -> Some (List.map (fun i -> vals.(i)) idx)

@@ -1,0 +1,38 @@
+(* Violation witnesses reported by the per-type monitors.
+
+   A violation is a minimal violating subhistory: the named rule, a
+   human message, and the culprit operations (the offending operation
+   plus its conflicting interval set), each with its observation and
+   real-time interval so the report stands alone without the full
+   history. *)
+
+type culprit = {
+  index : int;  (** position in the checked history *)
+  proc : int;
+  obs : Spec.Adt_view.obs;
+  start : Rat.t;
+  finish : Rat.t;
+}
+
+type t = {
+  kind : Spec.Adt_view.kind;  (** which monitor flagged it *)
+  rule : string;  (** dotted rule id, e.g. ["queue.fifo-order"] *)
+  message : string;
+  culprits : culprit list;  (** offending op first, then its conflicts *)
+}
+
+let make ~kind ~rule ~culprits message = { kind; rule; message; culprits }
+
+let pp_culprit ppf c =
+  Format.fprintf ppf "#%d p%d %s @@ [%a, %a]" c.index c.proc
+    (Spec.Adt_view.obs_to_string c.obs)
+    Rat.pp c.start Rat.pp c.finish
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s monitor: [%s] %s"
+    (Spec.Adt_view.kind_to_string t.kind)
+    t.rule t.message;
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_culprit c) t.culprits;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -49,3 +49,6 @@ let gen_invocation rng =
   | 0 -> Add (1 + Random.State.int rng 5)
   | 1 -> Read
   | _ -> Fetch_and_increment
+
+(* No specialized monitor for this shape: histories go to Wing-Gong. *)
+let monitor = None

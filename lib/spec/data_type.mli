@@ -50,6 +50,13 @@ module type S = sig
 
   val gen_invocation : Random.State.t -> invocation
   (** Random invocation, for workloads and property tests. *)
+
+  val monitor : (invocation, response) Adt_view.viewer option
+  (** The per-type linearizability monitor this specification opts
+      into, if its shape matches one of the {!Adt_view.kind}s.  [None]
+      sends every history of the type to the Wing-Gong checker.  The
+      declared kind is statically verified against the classification
+      witnesses by the [monitor_audit] analysis pass. *)
 end
 
 (** An operation instance [OP(arg, ret)]: invocation plus response

@@ -7,7 +7,13 @@
     [enqueue]/[peek] form the paper's example pair for Theorem 5's
     discriminator hypotheses. *)
 
-type state = int list (* head first *) [@@deriving show { with_path = false }, eq]
+(* Batched queue (front + reversed back) so [Enqueue] costs O(1)
+   instead of an O(n) append — million-operation monitor workloads
+   replay against this specification.  The canonical state remains the
+   head-first list: [equal_state] and [show_state] go through
+   [to_list], so differently-batched equal queues are
+   indistinguishable, as {!Data_type.S} requires. *)
+type state = { front : int list; back : int list }
 
 type invocation = Enqueue of int | Dequeue | Peek
 [@@deriving show { with_path = false }, eq]
@@ -16,16 +22,22 @@ type response = Ack | Got of int option
 [@@deriving show { with_path = false }, eq]
 
 let name = "fifo-queue"
-let initial = []
+let initial = { front = []; back = [] }
+let to_list s = s.front @ List.rev s.back
+
+(* invariant: [front] empty only when the queue is *)
+let norm = function
+  | { front = []; back } -> { front = List.rev back; back = [] }
+  | s -> s
 
 let apply state = function
-  | Enqueue v -> (state @ [ v ], Ack)
+  | Enqueue v -> (norm { state with back = v :: state.back }, Ack)
   | Dequeue -> (
-      match state with
-      | [] -> ([], Got None)
-      | head :: tail -> (tail, Got (Some head)))
+      match state.front with
+      | [] -> (state, Got None)
+      | head :: tail -> (norm { state with front = tail }, Got (Some head)))
   | Peek -> (
-      match state with
+      match state.front with
       | [] -> (state, Got None)
       | head :: _ -> (state, Got (Some head)))
 
@@ -41,10 +53,15 @@ let operations =
     ("peek", Op_kind.Pure_accessor);
   ]
 
-let equal_state = equal_state
+let equal_state a b = to_list a = to_list b
 let equal_invocation = equal_invocation
 let equal_response = equal_response
-let show_state = show_state
+
+let pp_state ppf s =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (List.map string_of_int (to_list s)))
+
+let show_state s = Format.asprintf "%a" pp_state s
 
 let sample_invocations = function
   | "enqueue" -> [ Enqueue 1; Enqueue 2; Enqueue 3; Enqueue 4 ]
@@ -57,3 +74,21 @@ let gen_invocation rng =
   | 0 | 1 -> Enqueue (Random.State.int rng 10)
   | 2 -> Dequeue
   | _ -> Peek
+
+let monitor =
+  Some
+    {
+      Adt_view.kind = Adt_view.Queue;
+      obs =
+        (fun inv resp ->
+          match (inv, resp) with
+          | Enqueue v, Ack -> Adt_view.Put v
+          | Dequeue, Got v -> Adt_view.Take v
+          | Peek, Got v -> Adt_view.Peek v
+          | Enqueue _, Got _ | (Dequeue | Peek), Ack -> Adt_view.Opaque);
+      put = (fun v -> Enqueue v);
+      take = Some Dequeue;
+      peek = Some Peek;
+      has = None;
+      drop = None;
+    }

@@ -3,9 +3,15 @@
     [enqueue] is a last-sensitive pure mutator, [dequeue] a pair-free
     mixed operation ([None] on empty), [peek] a pure accessor.
     [enqueue]/[peek] are the paper's example pair for Theorem 5's
-    discriminator hypotheses. *)
+    discriminator hypotheses.
 
-type state = int list  (** head first *)
+    The state is a batched queue (enqueue in O(1)); [to_list] exposes
+    the canonical head-first contents. *)
+
+type state
+
+val to_list : state -> int list
+(** Canonical head-first contents. *)
 
 type invocation = Enqueue of int | Dequeue | Peek
 type response = Ack | Got of int option

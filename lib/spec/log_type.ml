@@ -65,3 +65,6 @@ let gen_invocation rng =
   | 2 -> Last
   | 3 -> Length
   | _ -> Trim
+
+(* No specialized monitor for this shape: histories go to Wing-Gong. *)
+let monitor = None

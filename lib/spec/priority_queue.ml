@@ -66,3 +66,21 @@ let gen_invocation rng =
   | 0 | 1 -> Insert (Random.State.int rng 10)
   | 2 -> Extract_max
   | _ -> Find_max
+
+let monitor =
+  Some
+    {
+      Adt_view.kind = Adt_view.Priority_queue;
+      obs =
+        (fun inv resp ->
+          match (inv, resp) with
+          | Insert v, Ack -> Adt_view.Put v
+          | Extract_max, Max v -> Adt_view.Take v
+          | Find_max, Max v -> Adt_view.Peek v
+          | Insert _, Max _ | (Extract_max | Find_max), Ack -> Adt_view.Opaque);
+      put = (fun v -> Insert v);
+      take = Some Extract_max;
+      peek = Some Find_max;
+      has = None;
+      drop = None;
+    }

@@ -84,4 +84,7 @@ module Make (A : Data_type.S) (B : Data_type.S) = struct
     if Random.State.bool rng then Left (A.gen_invocation rng)
     else Right (B.gen_invocation rng)
 
+  (* A product is no single shape; per-side monitoring would need the
+     locality projection, which the monitors do not see.  Wing-Gong. *)
+  let monitor = None
 end

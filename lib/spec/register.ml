@@ -36,3 +36,20 @@ let sample_invocations = function
 
 let gen_invocation rng =
   if Random.State.bool rng then Read else Write (Random.State.int rng 10)
+
+let monitor =
+  Some
+    {
+      Adt_view.kind = Adt_view.Register;
+      obs =
+        (fun inv resp ->
+          match (inv, resp) with
+          | Write v, Ack -> Adt_view.Put v
+          | Read, Value v -> Adt_view.Peek (Some v)
+          | Write _, Value _ | Read, Ack -> Adt_view.Opaque);
+      put = (fun v -> Write v);
+      take = None;
+      peek = Some Read;
+      has = None;
+      drop = None;
+    }

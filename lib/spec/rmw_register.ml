@@ -71,3 +71,6 @@ let gen_invocation rng =
   | 1 -> Write (Random.State.int rng 10)
   | 2 -> Rmw (Fetch_and_add (1 + Random.State.int rng 3))
   | _ -> Rmw (Fetch_and_set (Random.State.int rng 10))
+
+(* No specialized monitor for this shape: histories go to Wing-Gong. *)
+let monitor = None

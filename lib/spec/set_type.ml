@@ -68,3 +68,23 @@ let gen_invocation rng =
   | 1 -> Remove (Random.State.int rng 10)
   | 2 -> Contains (Random.State.int rng 10)
   | _ -> Extract_min
+
+(* [Extract_min] is outside the set monitor's vocabulary (it couples
+   the values); a history containing one falls back to Wing-Gong. *)
+let monitor =
+  Some
+    {
+      Adt_view.kind = Adt_view.Set;
+      obs =
+        (fun inv resp ->
+          match (inv, resp) with
+          | Add v, Ack -> Adt_view.Put v
+          | Remove v, Ack -> Adt_view.Drop v
+          | Contains v, Mem b -> Adt_view.Has (v, b)
+          | Extract_min, _ | _, (Mem _ | Min _ | Ack) -> Adt_view.Opaque);
+      put = (fun v -> Add v);
+      take = None;
+      peek = None;
+      has = Some (fun v -> Contains v);
+      drop = Some (fun v -> Remove v);
+    }

@@ -54,3 +54,21 @@ let gen_invocation rng =
   | 0 | 1 -> Push (Random.State.int rng 10)
   | 2 -> Pop
   | _ -> Peek
+
+let monitor =
+  Some
+    {
+      Adt_view.kind = Adt_view.Stack;
+      obs =
+        (fun inv resp ->
+          match (inv, resp) with
+          | Push v, Ack -> Adt_view.Put v
+          | Pop, Got v -> Adt_view.Take v
+          | Peek, Got v -> Adt_view.Peek v
+          | Push _, Got _ | (Pop | Peek), Ack -> Adt_view.Opaque);
+      put = (fun v -> Push v);
+      take = Some Pop;
+      peek = Some Peek;
+      has = None;
+      drop = None;
+    }

@@ -133,3 +133,6 @@ let gen_invocation rng =
   | 2 -> Delete (1 + Random.State.int rng 6)
   | 3 -> Depth (Random.State.int rng 7)
   | _ -> Last_removed
+
+(* No specialized monitor for this shape: histories go to Wing-Gong. *)
+let monitor = None

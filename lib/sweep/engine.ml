@@ -59,6 +59,9 @@ type grid = {
   per_proc : int;
   max_events : int;
   max_check_nodes : int option;
+  checker : Core.Runtime.checker;
+      (** certification engine for every cell; [Monitor] routes through
+          the specialized per-type monitors with Wing-Gong fallback *)
 }
 
 let default_points =
@@ -82,6 +85,7 @@ let default_grid =
     per_proc = 2;
     max_events = 500_000;
     max_check_nodes = Some 5_000_000;
+    checker = Core.Runtime.Monitor;
   }
 
 type cell = {
@@ -198,7 +202,7 @@ let eval grid (c : cell) : (verdict, string) result =
   in
   let cfg =
     R.Config.make ~faults:c.plan ~max_events:grid.max_events
-      ?max_check_nodes:grid.max_check_nodes ~model:m
+      ?max_check_nodes:grid.max_check_nodes ~checker:grid.checker ~model:m
       ~offsets:(Array.make m.n Rat.zero)
       ~delay
       ~algorithm:(runtime_algo m c.algo)
@@ -208,12 +212,10 @@ let eval grid (c : cell) : (verdict, string) result =
   in
   let cfg = match c.leg with Raw -> cfg | Recovered -> R.Config.reliable cfg in
   match R.run cfg with
-  | exception Lin.Checker.Node_budget_exceeded n ->
+  | exception Lin.Checker.Node_budget_exceeded { nodes; prefix; total } ->
       Error
-        (Printf.sprintf
-           "%s: linearizability search aborted after %d nodes \
-            (max_check_nodes)"
-           key n)
+        (Format.asprintf "%s: %a (max_check_nodes)" key
+           Lin.Checker.pp_budget_exceeded (nodes, prefix, total))
   | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" key msg)
   | report ->
       let judged =

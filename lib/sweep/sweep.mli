@@ -61,6 +61,9 @@ type grid = {
   max_check_nodes : int option;
       (** DFS budget per cell; an exceeded search fails the cell with a
           named diagnostic instead of hanging the sweep *)
+  checker : Core.Runtime.checker;
+      (** certification engine for every cell (default [Monitor]: the
+          specialized per-type monitors, Wing-Gong on fallback) *)
 }
 
 val default_points : Sim.Model.t list

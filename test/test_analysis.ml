@@ -118,6 +118,8 @@ module Broken = struct
 
   let gen_invocation rng =
     match Random.State.int rng 3 with 0 -> Bump | 1 -> Noise | _ -> Probe
+
+  let monitor = None
 end
 
 let test_broken_spec_lint () =
@@ -171,6 +173,45 @@ let test_broken_report_gates () =
         (first.severity = Analysis.Diagnostic.Error)
   | [] -> Alcotest.fail "empty report"
 
+(* ---------- monitor audit ---------- *)
+
+(* The bundled queue viewer, re-declared as a stack: the discipline
+   probe must refute the lie with the concrete replay as witness. *)
+module Lying_queue = struct
+  include Spec.Fifo_queue
+
+  let monitor =
+    Option.map
+      (fun vw -> { vw with Spec.Adt_view.kind = Spec.Adt_view.Stack })
+      monitor
+end
+
+let test_monitor_audit_verified () =
+  let module MA = Analysis.Monitor_audit.Make (Spec.Fifo_queue) in
+  let findings = MA.run () in
+  Alcotest.(check bool)
+    "queue viewer confirmed" true
+    (has ~rule:"monitor.verified" ~subject_sub:"fifo-queue" findings)
+
+let test_monitor_audit_lying_kind () =
+  let module MA = Analysis.Monitor_audit.Make (Lying_queue) in
+  let findings = MA.run () in
+  Alcotest.(check bool)
+    "mis-declared kind refuted with a replay witness" true
+    (has ~with_witness:true ~rule:"monitor.kind-witness"
+       ~subject_sub:"fifo-queue" findings);
+  Alcotest.(check bool)
+    "no false verification" false
+    (has ~rule:"monitor.verified" ~subject_sub:"fifo-queue" findings)
+
+let test_monitor_audit_unmonitored () =
+  let module MA = Analysis.Monitor_audit.Make (Spec.Counter_type) in
+  let findings = MA.run () in
+  Alcotest.(check bool)
+    "unmonitored type reported as wing-gong-only" true
+    (has ~rule:"monitor.none" ~subject_sub:"counter" findings);
+  Alcotest.(check int) "and nothing else" 1 (List.length findings)
+
 (* ---------- renderer escaping ---------- *)
 
 let test_json_escaping () =
@@ -194,6 +235,15 @@ let () =
           Alcotest.test_case "bound tables" `Quick test_bound_tables_clean;
           Alcotest.test_case "aggregate report + json" `Quick
             test_audit_all_report;
+        ] );
+      ( "monitor audit",
+        [
+          Alcotest.test_case "bundled queue viewer verified" `Quick
+            test_monitor_audit_verified;
+          Alcotest.test_case "lying kind refuted" `Quick
+            test_monitor_audit_lying_kind;
+          Alcotest.test_case "unmonitored type is info-only" `Quick
+            test_monitor_audit_unmonitored;
         ] );
       ( "broken fixture is flagged",
         [

@@ -1,0 +1,577 @@
+(* Per-type monitor tests: agreement with Wing-Gong on random
+   seed-deterministic histories (clean and with injected violations),
+   hand-written adversarial histories with the expected rejection
+   rules, the online sink, and the Wing-Gong budget payload. *)
+
+let rat = Rat.make
+
+(* ---------- agreement with Wing-Gong on random histories ---------- *)
+
+(* Histories are kept small so the exponential fallback terminates
+   quickly even on rejections; the monitors themselves are exercised at
+   scale in [test_specialized_scale] and the benchmark. *)
+module Agree (T : Spec.Data_type.S) = struct
+  module M = Monitor.Make (T)
+
+  let run ~seeds ~n () =
+    for seed = 0 to seeds - 1 do
+      let clean = M.generate ~seed ~n () in
+      let r = M.check clean in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d: clean history accepted" T.name seed)
+        true r.M.linearizable;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s seed %d: wing-gong accepts too" T.name seed)
+        true
+        (M.Fallback.is_linearizable clean);
+      let bad, injected = M.corrupt clean in
+      if injected then
+        let fast = (M.check bad).M.linearizable in
+        let slow = M.Fallback.is_linearizable bad in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d: corrupted verdicts agree" T.name seed)
+          slow fast
+    done
+end
+
+let test_agreement_register () =
+  let module A = Agree (Spec.Register) in
+  A.run ~seeds:12 ~n:16 ()
+
+let test_agreement_queue () =
+  let module A = Agree (Spec.Fifo_queue) in
+  A.run ~seeds:12 ~n:16 ()
+
+let test_agreement_stack () =
+  let module A = Agree (Spec.Stack_type) in
+  A.run ~seeds:12 ~n:16 ()
+
+let test_agreement_set () =
+  let module A = Agree (Spec.Set_type) in
+  A.run ~seeds:12 ~n:16 ()
+
+let test_agreement_pqueue () =
+  let module A = Agree (Spec.Priority_queue) in
+  A.run ~seeds:12 ~n:16 ()
+
+(* ---------- the fast path actually runs (and scales) -------------- *)
+
+module Fast (T : Spec.Data_type.S) = struct
+  module M = Monitor.Make (T)
+
+  let run ~n () =
+    let r = M.check (M.generate ~seed:1 ~n ()) in
+    Alcotest.(check bool)
+      (T.name ^ ": large clean history accepted") true r.M.linearizable;
+    Alcotest.(check bool)
+      (T.name ^ ": no wing-gong fallback")
+      true
+      (match (r.M.method_, r.M.fallback) with
+      | Monitor.Specialized _, None -> true
+      | _ -> false)
+end
+
+let test_specialized_scale () =
+  (let module F = Fast (Spec.Register) in
+   F.run ~n:2000 ());
+  (let module F = Fast (Spec.Fifo_queue) in
+   F.run ~n:2000 ());
+  (let module F = Fast (Spec.Stack_type) in
+   F.run ~n:2000 ());
+  (let module F = Fast (Spec.Set_type) in
+   F.run ~n:2000 ());
+  let module F = Fast (Spec.Priority_queue) in
+  F.run ~n:2000 ()
+
+let test_queue_20k () =
+  let module M = Monitor.Make (Spec.Fifo_queue) in
+  let r = M.check (M.generate ~seed:7 ~n:20_000 ()) in
+  Alcotest.(check bool) "20k-op queue accepted" true r.M.linearizable;
+  Alcotest.(check bool)
+    "via the queue monitor" true
+    (r.M.method_ = Monitor.Specialized Spec.Adt_view.Queue)
+
+(* unmonitored types route to Wing-Gong with a reason *)
+let test_unmonitored_fallback () =
+  let module M = Monitor.Make (Spec.Counter_type) in
+  Alcotest.(check bool)
+    "no viewer declared" true
+    (Monitor.monitored_kind (module Spec.Counter_type) = None);
+  let ops : M.op list =
+    [
+      {
+        proc = 0;
+        inv = Spec.Counter_type.Add 1;
+        resp = Spec.Counter_type.Ack;
+        inv_time = rat 0 10;
+        resp_time = rat 10 10;
+      };
+    ]
+  in
+  let r = M.check ops in
+  Alcotest.(check bool) "accepted" true r.M.linearizable;
+  Alcotest.(check bool) "by wing-gong" true (r.M.method_ = Monitor.Wing_gong);
+  Alcotest.(check bool) "with a reason" true (r.M.fallback <> None)
+
+(* ---------- hand-written adversarial histories -------------------- *)
+
+let expect_reject name rule (linearizable, violation) =
+  Alcotest.(check bool) (name ^ ": rejected") false linearizable;
+  match violation with
+  | None -> Alcotest.failf "%s: no violation witness" name
+  | Some (v : Monitor.Violation.t) ->
+      Alcotest.(check string) (name ^ ": rule") rule v.rule;
+      Alcotest.(check bool)
+        (name ^ ": has culprits") true (v.culprits <> [])
+
+module MQ = Monitor.Make (Spec.Fifo_queue)
+
+let qop ~proc ~s ~e inv resp : MQ.op =
+  { proc; inv; resp; inv_time = rat s 10; resp_time = rat e 10 }
+
+let enq ~proc ~s ~e v = qop ~proc ~s ~e (Spec.Fifo_queue.Enqueue v) Ack
+let deq ~proc ~s ~e v = qop ~proc ~s ~e Spec.Fifo_queue.Dequeue (Got v)
+let qpeek ~proc ~s ~e v = qop ~proc ~s ~e Spec.Fifo_queue.Peek (Got v)
+let verdict (r : MQ.result) = (r.linearizable, r.violation)
+
+let test_queue_adversarial () =
+  (* concurrent enqueues: the dequeue order decides, accept *)
+  let r =
+    MQ.check
+      [
+        enq ~proc:0 ~s:0 ~e:30 1;
+        enq ~proc:1 ~s:5 ~e:30 2;
+        deq ~proc:0 ~s:40 ~e:50 (Some 2);
+        deq ~proc:1 ~s:60 ~e:70 (Some 1);
+      ]
+  in
+  Alcotest.(check bool) "concurrent enqueues accepted" true r.MQ.linearizable;
+  (* forced FIFO inversion *)
+  expect_reject "fifo inversion" "queue.fifo-order"
+    (verdict
+       (MQ.check
+          [
+            enq ~proc:0 ~s:0 ~e:10 1;
+            enq ~proc:1 ~s:20 ~e:30 2;
+            deq ~proc:0 ~s:40 ~e:50 (Some 2);
+            deq ~proc:1 ~s:60 ~e:70 (Some 1);
+          ]));
+  (* empty observation while a value is forced present *)
+  expect_reject "impossible empty" "container.nonempty"
+    (verdict
+       (MQ.check
+          [
+            enq ~proc:0 ~s:0 ~e:10 1;
+            deq ~proc:1 ~s:20 ~e:30 None;
+            deq ~proc:0 ~s:40 ~e:50 (Some 1);
+          ]));
+  (* value from nowhere *)
+  expect_reject "fresh value" "container.fresh"
+    (verdict (MQ.check [ deq ~proc:0 ~s:0 ~e:10 (Some 7) ]));
+  (* taken twice *)
+  expect_reject "taken twice" "container.repeat"
+    (verdict
+       (MQ.check
+          [
+            enq ~proc:0 ~s:0 ~e:10 1;
+            deq ~proc:1 ~s:20 ~e:30 (Some 1);
+            deq ~proc:0 ~s:40 ~e:50 (Some 1);
+          ]));
+  (* observed after its removal *)
+  expect_reject "peek after take" "container.after-take"
+    (verdict
+       (MQ.check
+          [
+            enq ~proc:0 ~s:0 ~e:10 1;
+            deq ~proc:1 ~s:20 ~e:30 (Some 1);
+            qpeek ~proc:0 ~s:40 ~e:50 (Some 1);
+          ]));
+  (* observed entirely before its insertion *)
+  expect_reject "take before put" "container.before-put"
+    (verdict
+       (MQ.check
+          [ deq ~proc:0 ~s:0 ~e:10 (Some 1); enq ~proc:1 ~s:20 ~e:30 1 ]))
+
+module MR = Monitor.Make (Spec.Register)
+
+let wr ~proc ~s ~e v : MR.op =
+  {
+    proc;
+    inv = Spec.Register.Write v;
+    resp = Spec.Register.Ack;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let rd ~proc ~s ~e v : MR.op =
+  {
+    proc;
+    inv = Spec.Register.Read;
+    resp = Spec.Register.Value v;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let rverdict (r : MR.result) = (r.linearizable, r.violation)
+
+let test_register_adversarial () =
+  (* read overlapping the overwrite may still return the old value *)
+  let r =
+    MR.check
+      [ wr ~proc:0 ~s:0 ~e:10 1; wr ~proc:1 ~s:20 ~e:40 2; rd ~proc:2 ~s:30 ~e:50 1 ]
+  in
+  Alcotest.(check bool) "overlapping read accepted" true r.MR.linearizable;
+  expect_reject "stale read" "register.stale"
+    (rverdict
+       (MR.check
+          [
+            wr ~proc:0 ~s:0 ~e:10 1;
+            wr ~proc:1 ~s:20 ~e:30 2;
+            rd ~proc:2 ~s:40 ~e:50 1;
+          ]));
+  expect_reject "stale initial read" "register.stale"
+    (rverdict (MR.check [ wr ~proc:0 ~s:0 ~e:10 1; rd ~proc:1 ~s:20 ~e:30 0 ]));
+  expect_reject "read before write" "register.before-write"
+    (rverdict (MR.check [ rd ~proc:0 ~s:0 ~e:10 5; wr ~proc:1 ~s:20 ~e:30 5 ]))
+
+module MS = Monitor.Make (Spec.Stack_type)
+
+let push ~proc ~s ~e v : MS.op =
+  {
+    proc;
+    inv = Spec.Stack_type.Push v;
+    resp = Spec.Stack_type.Ack;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let pop ~proc ~s ~e v : MS.op =
+  {
+    proc;
+    inv = Spec.Stack_type.Pop;
+    resp = Spec.Stack_type.Got v;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let sverdict (r : MS.result) = (r.linearizable, r.violation)
+
+let test_stack_adversarial () =
+  let r =
+    MS.check
+      [
+        push ~proc:0 ~s:0 ~e:10 1;
+        push ~proc:1 ~s:20 ~e:30 2;
+        pop ~proc:0 ~s:40 ~e:50 (Some 2);
+        pop ~proc:1 ~s:60 ~e:70 (Some 1);
+      ]
+  in
+  Alcotest.(check bool) "lifo order accepted" true r.MS.linearizable;
+  expect_reject "lifo inversion" "stack.lifo-order"
+    (sverdict
+       (MS.check
+          [
+            push ~proc:0 ~s:0 ~e:10 1;
+            push ~proc:1 ~s:20 ~e:30 2;
+            pop ~proc:0 ~s:40 ~e:50 (Some 1);
+            pop ~proc:1 ~s:60 ~e:70 (Some 2);
+          ]))
+
+module MP = Monitor.Make (Spec.Priority_queue)
+
+let ins ~proc ~s ~e v : MP.op =
+  {
+    proc;
+    inv = Spec.Priority_queue.Insert v;
+    resp = Spec.Priority_queue.Ack;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let ext ~proc ~s ~e v : MP.op =
+  {
+    proc;
+    inv = Spec.Priority_queue.Extract_max;
+    resp = Spec.Priority_queue.Max v;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let pverdict (r : MP.result) = (r.linearizable, r.violation)
+
+let test_pqueue_adversarial () =
+  let r =
+    MP.check
+      [
+        ins ~proc:0 ~s:0 ~e:10 3;
+        ins ~proc:1 ~s:20 ~e:30 5;
+        ext ~proc:0 ~s:40 ~e:50 (Some 5);
+        ext ~proc:1 ~s:60 ~e:70 (Some 3);
+      ]
+  in
+  Alcotest.(check bool) "priority order accepted" true r.MP.linearizable;
+  expect_reject "priority inversion" "pqueue.priority-order"
+    (pverdict
+       (MP.check
+          [
+            ins ~proc:0 ~s:0 ~e:10 5;
+            ins ~proc:1 ~s:20 ~e:30 3;
+            ext ~proc:0 ~s:40 ~e:50 (Some 3);
+          ]))
+
+module MSet = Monitor.Make (Spec.Set_type)
+
+let sadd ~proc ~s ~e v : MSet.op =
+  {
+    proc;
+    inv = Spec.Set_type.Add v;
+    resp = Spec.Set_type.Ack;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let sdel ~proc ~s ~e v : MSet.op =
+  {
+    proc;
+    inv = Spec.Set_type.Remove v;
+    resp = Spec.Set_type.Ack;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let smem ~proc ~s ~e v b : MSet.op =
+  {
+    proc;
+    inv = Spec.Set_type.Contains v;
+    resp = Spec.Set_type.Mem b;
+    inv_time = rat s 10;
+    resp_time = rat e 10;
+  }
+
+let setverdict (r : MSet.result) = (r.linearizable, r.violation)
+
+let test_set_adversarial () =
+  let r =
+    MSet.check
+      [
+        sadd ~proc:0 ~s:0 ~e:10 1;
+        smem ~proc:1 ~s:20 ~e:30 1 true;
+        sdel ~proc:0 ~s:40 ~e:50 1;
+        smem ~proc:1 ~s:60 ~e:70 1 false;
+      ]
+  in
+  Alcotest.(check bool) "set lifecycle accepted" true r.MSet.linearizable;
+  expect_reject "absence while forced present" "set.false-read"
+    (setverdict
+       (MSet.check
+          [ sadd ~proc:0 ~s:0 ~e:10 1; smem ~proc:1 ~s:20 ~e:30 1 false ]));
+  expect_reject "presence after forced remove" "set.after-drop"
+    (setverdict
+       (MSet.check
+          [
+            sadd ~proc:0 ~s:0 ~e:10 1;
+            sdel ~proc:0 ~s:20 ~e:30 1;
+            smem ~proc:1 ~s:40 ~e:50 1 true;
+          ]))
+
+(* ---------- online sink ------------------------------------------- *)
+
+(* Replay a completed history through a live trace in event-time order
+   (invocation before response on a tied timestamp), sampling the sink
+   after every event.  Returns the handle, the event index at which the
+   violation was first visible, and the event count. *)
+module Stream (T : Spec.Data_type.S) = struct
+  module M = Monitor.Make (T)
+
+  let run (ops : M.op list) =
+    let trace : (unit, T.invocation, T.response) Sim.Trace.t =
+      Sim.Trace.create ()
+    in
+    let h = M.attach trace in
+    let events =
+      List.concat_map
+        (fun (o : M.op) ->
+          [ (o.Sim.Trace.inv_time, 0, o); (o.Sim.Trace.resp_time, 1, o) ])
+        ops
+      |> List.stable_sort (fun (t1, k1, _) (t2, k2, _) ->
+             match Rat.compare t1 t2 with 0 -> Int.compare k1 k2 | c -> c)
+    in
+    let detected = ref None in
+    List.iteri
+      (fun i (time, k, (o : M.op)) ->
+        Sim.Trace.record trace
+          (if k = 0 then Sim.Trace.Invoke { time; proc = o.proc; inv = o.inv }
+           else
+             Sim.Trace.Respond
+               { time; proc = o.proc; inv = o.inv; resp = o.resp });
+        if !detected = None && M.online_violation h <> None then
+          detected := Some i)
+      events;
+    (h, !detected, List.length events)
+end
+
+let test_online_clean () =
+  let clean_q () =
+    let module S = Stream (Spec.Fifo_queue) in
+    let h, detected, _ = S.run (S.M.generate ~seed:2 ~n:150 ()) in
+    Alcotest.(check bool) "queue: no mid-run violation" true (detected = None);
+    Alcotest.(check bool)
+      "queue: finalize clean" true
+      (S.M.online_finalize h = None);
+    Alcotest.(check bool)
+      "queue: still armed" true
+      (S.M.online_status h = `Armed)
+  in
+  let clean_r () =
+    let module S = Stream (Spec.Register) in
+    let h, detected, _ = S.run (S.M.generate ~seed:2 ~n:150 ()) in
+    Alcotest.(check bool)
+      "register: no mid-run violation" true (detected = None);
+    Alcotest.(check bool)
+      "register: finalize clean" true
+      (S.M.online_finalize h = None)
+  in
+  let clean_s () =
+    let module S = Stream (Spec.Set_type) in
+    let h, detected, _ = S.run (S.M.generate ~seed:2 ~n:150 ()) in
+    Alcotest.(check bool) "set: no mid-run violation" true (detected = None);
+    Alcotest.(check bool)
+      "set: finalize clean" true
+      (S.M.online_finalize h = None)
+  in
+  clean_q ();
+  clean_r ();
+  clean_s ()
+
+let test_online_detects_midrun () =
+  let module S = Stream (Spec.Fifo_queue) in
+  let clean = S.M.generate ~seed:3 ~n:200 () in
+  let bad, injected = S.M.corrupt clean in
+  Alcotest.(check bool) "violation injected" true injected;
+  let _, detected, total = S.run bad in
+  match detected with
+  | None -> Alcotest.fail "online sink missed the injected violation"
+  | Some i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "detected at event %d of %d, before end-of-run" i
+           total)
+        true
+        (i < total - 1)
+
+let test_online_register_midrun () =
+  let module S = Stream (Spec.Register) in
+  let clean = S.M.generate ~seed:5 ~n:200 () in
+  let bad, injected = S.M.corrupt clean in
+  Alcotest.(check bool) "violation injected" true injected;
+  let _, detected, total = S.run bad in
+  match detected with
+  | None -> Alcotest.fail "online sink missed the stale read"
+  | Some i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "detected at event %d of %d, before end-of-run" i
+           total)
+        true
+        (i < total - 1)
+
+let test_online_finalize_catches () =
+  (* a set false-read is only refutable once the run is over: the sink
+     stays quiet mid-run and flags it at finalize *)
+  let module S = Stream (Spec.Set_type) in
+  let h, detected, _ =
+    S.run [ sadd ~proc:0 ~s:0 ~e:10 1; smem ~proc:1 ~s:20 ~e:30 1 false ]
+  in
+  Alcotest.(check bool) "quiet mid-run" true (detected = None);
+  match S.M.online_finalize h with
+  | Some v -> Alcotest.(check string) "rule" "set.false-read" v.rule
+  | None -> Alcotest.fail "finalize missed the false read"
+
+let test_online_abort_raises () =
+  let trace : (unit, Spec.Fifo_queue.invocation, Spec.Fifo_queue.response)
+      Sim.Trace.t =
+    Sim.Trace.create ()
+  in
+  let _h = MQ.attach ~abort:true trace in
+  let feed (o : MQ.op) =
+    Sim.Trace.record trace
+      (Sim.Trace.Invoke { time = o.inv_time; proc = o.proc; inv = o.inv });
+    Sim.Trace.record trace
+      (Sim.Trace.Respond
+         { time = o.resp_time; proc = o.proc; inv = o.inv; resp = o.resp })
+  in
+  feed (enq ~proc:0 ~s:0 ~e:10 1);
+  feed (deq ~proc:0 ~s:11 ~e:20 (Some 1));
+  match feed (deq ~proc:0 ~s:21 ~e:30 (Some 1)) with
+  | exception MQ.Violation_detected v ->
+      Alcotest.(check string) "abort carries the rule" "container.repeat"
+        v.Monitor.Violation.rule
+  | () -> Alcotest.fail "abort mode did not raise"
+
+(* ---------- wing-gong budget payload ------------------------------ *)
+
+let test_budget_payload () =
+  let module W = Lin.Checker.Make (Spec.Fifo_queue) in
+  let ops = MQ.generate ~seed:0 ~n:40 () in
+  (match W.check ~max_nodes:5 ops with
+  | _ -> Alcotest.fail "expected Node_budget_exceeded"
+  | exception Lin.Checker.Node_budget_exceeded { nodes; prefix; total } ->
+      Alcotest.(check bool) "nodes counted" true (nodes > 5);
+      Alcotest.(check int) "total is the history size" 40 total;
+      Alcotest.(check bool)
+        "prefix within bounds" true
+        (0 <= prefix && prefix <= total));
+  let line =
+    Format.asprintf "%a" Lin.Checker.pp_budget_exceeded (12, 3, 40)
+  in
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool)
+    "diagnostic names the node count" true
+    (contains ~sub:"12" line)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "agreement with wing-gong",
+        [
+          Alcotest.test_case "register" `Quick test_agreement_register;
+          Alcotest.test_case "queue" `Quick test_agreement_queue;
+          Alcotest.test_case "stack" `Quick test_agreement_stack;
+          Alcotest.test_case "set" `Quick test_agreement_set;
+          Alcotest.test_case "priority queue" `Quick test_agreement_pqueue;
+        ] );
+      ( "fast path",
+        [
+          Alcotest.test_case "all five kinds, no fallback" `Quick
+            test_specialized_scale;
+          Alcotest.test_case "20k-op queue" `Quick test_queue_20k;
+          Alcotest.test_case "unmonitored type falls back" `Quick
+            test_unmonitored_fallback;
+        ] );
+      ( "adversarial histories",
+        [
+          Alcotest.test_case "queue" `Quick test_queue_adversarial;
+          Alcotest.test_case "register" `Quick test_register_adversarial;
+          Alcotest.test_case "stack" `Quick test_stack_adversarial;
+          Alcotest.test_case "priority queue" `Quick test_pqueue_adversarial;
+          Alcotest.test_case "set" `Quick test_set_adversarial;
+        ] );
+      ( "online sink",
+        [
+          Alcotest.test_case "clean streams stay quiet" `Quick
+            test_online_clean;
+          Alcotest.test_case "queue violation before end-of-run" `Quick
+            test_online_detects_midrun;
+          Alcotest.test_case "register violation before end-of-run" `Quick
+            test_online_register_midrun;
+          Alcotest.test_case "finalize catches deferred rules" `Quick
+            test_online_finalize_catches;
+          Alcotest.test_case "abort mode raises" `Quick
+            test_online_abort_raises;
+        ] );
+      ( "wing-gong budget",
+        [ Alcotest.test_case "payload and rendering" `Quick
+            test_budget_payload ] );
+    ]

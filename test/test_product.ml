@@ -22,7 +22,7 @@ let test_sequential_semantics () =
         RQ.Right Spec.Fifo_queue.Dequeue;
       ]
   in
-  Alcotest.(check bool) "sides do not interfere" true (reg = 7 && queue = []);
+  Alcotest.(check bool) "sides do not interfere" true (reg = 7 && Spec.Fifo_queue.to_list queue = []);
   Alcotest.(check bool) "legal" true (Sem.legal instances);
   let responses = List.map (fun (i : Sem.instance) -> i.resp) instances in
   Alcotest.(check bool) "responses routed to the right side" true

@@ -87,7 +87,7 @@ let test_queue () =
   let _, r4 = Q.apply s3 Q.Dequeue in
   Alcotest.(check bool) "second out" true (r4 = Q.Got (Some 2));
   Alcotest.(check bool) "peek does not consume" true
-    (snd (Q.apply s2 Q.Peek) = Q.Got (Some 1) && s2 = [ 1; 2 ])
+    (snd (Q.apply s2 Q.Peek) = Q.Got (Some 1) && Q.to_list s2 = [ 1; 2 ])
 
 (* --- stack --- *)
 

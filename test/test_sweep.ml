@@ -24,8 +24,15 @@ let contains haystack needle =
 let small_grid =
   { Sweep.default_grid with types = [ packed "register"; packed "queue" ] }
 
-(* Every cell of this grid exhausts a one-node checker budget. *)
-let budget_grid = { small_grid with max_check_nodes = Some 1 }
+(* Every cell of this grid exhausts a one-node checker budget.  The
+   Wing-Gong engine is pinned: under the default monitor checker most
+   cells certify on the fast path and never consult the DFS budget. *)
+let budget_grid =
+  {
+    small_grid with
+    max_check_nodes = Some 1;
+    checker = Core.Runtime.Wing_gong;
+  }
 
 let test_fingerprint_jobs_independent () =
   let t1 = Sweep.run ~jobs:1 small_grid in
