@@ -573,6 +573,7 @@ type streaming_run = {
   pending : int;
   admissible : bool;
   wall_s : float;
+  minor_words : float;  (** words allocated while the engine ran *)
   live_words : int;  (** live heap at quiescence, trace still reachable *)
 }
 
@@ -606,9 +607,11 @@ let streaming_run ~retain ~per_proc ~seed () =
   done;
   Gc.compact ();
   let baseline = (Gc.stat ()).live_words in
-  let t0 = Unix.gettimeofday () in
-  Sim.Engine.run ~max_events:10_000_000 engine;
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let (), m =
+    Perf.Measure.measure (fun () ->
+        Sim.Engine.run ~max_events:10_000_000 engine)
+  in
+  let wall_s = float_of_int m.Perf.Measure.wall_ns /. 1e9 in
   Gc.full_major ();
   let live_words = Stdlib.max 0 ((Gc.stat ()).live_words - baseline) in
   let trace = Sim.Engine.trace engine in
@@ -619,6 +622,7 @@ let streaming_run ~retain ~per_proc ~seed () =
     pending = Sim.Trace.pending_count trace;
     admissible = Sim.Trace.delays_admissible model trace;
     wall_s;
+    minor_words = m.Perf.Measure.minor_words;
     live_words;
   }
 
@@ -637,6 +641,9 @@ let streaming_section () =
   int_row "live words at end" (fun r -> r.live_words);
   Format.printf "%-22s %14.3f %14.3f@." "wall seconds" retained.wall_s
     streamed.wall_s;
+  Format.printf "%-22s %14.1f %14.1f@." "minor words/event"
+    (retained.minor_words /. float_of_int retained.events)
+    (streamed.minor_words /. float_of_int streamed.events);
   Format.printf "identical snapshots: %b (ops/events/messages/admissibility)@."
     (retained.operations = streamed.operations
     && retained.events = streamed.events
@@ -648,16 +655,17 @@ let streaming_section () =
    accumulating without dragging the full benchmark suite into CI. *)
 let smoke_section () =
   let module R = Core.Runtime.Make (Spec.Fifo_queue) in
-  let t0 = Unix.gettimeofday () in
-  let report =
-    R.run
-      (R.Config.make ~retain_events:false ~model ~offsets
-         ~delay:(Sim.Net.random_model ~seed:11 model)
-         ~algorithm:(R.Wtlw { x })
-         ~workload:(R.Closed_loop { per_proc = 50; think = rat 1 2; seed = 11 })
-         ())
+  let report, m =
+    Perf.Measure.measure (fun () ->
+        R.run
+          (R.Config.make ~retain_events:false ~model ~offsets
+             ~delay:(Sim.Net.random_model ~seed:11 model)
+             ~algorithm:(R.Wtlw { x })
+             ~workload:
+               (R.Closed_loop { per_proc = 50; think = rat 1 2; seed = 11 })
+             ()))
   in
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = float_of_int m.Perf.Measure.wall_ns /. 1e9 in
   let linearizable = Option.is_some report.linearization in
   Format.printf
     "{ \"bench\": \"closed-loop-queue-smoke\", \"algorithm\": \"wtlw\",@.";
@@ -669,7 +677,10 @@ let smoke_section () =
     report.events report.messages report.pending;
   Format.printf "  \"linearizable\": %b, \"delays_admissible\": %b,@."
     linearizable report.delays_admissible;
-  Format.printf "  \"wall_s\": %.6f }@." wall_s;
+  Format.printf "  \"wall_s\": %.6f, \"minor_words\": %.0f,@." wall_s
+    m.Perf.Measure.minor_words;
+  Format.printf "  \"minor_words_per_event\": %.2f }@."
+    (m.Perf.Measure.minor_words /. float_of_int (max 1 report.events));
   if not (linearizable && report.delays_admissible && report.pending = 0) then
     exit 1
 
@@ -687,16 +698,16 @@ let monitor_run (modl : (module Spec.Data_type.S)) ~wing_gong ~n () =
   let (module T : Spec.Data_type.S) = modl in
   let module M = Monitor.Make (T) in
   let ops = M.generate ~seed:7 ~n () in
-  let t0 = Unix.gettimeofday () in
-  let linearizable, label =
-    if wing_gong then
-      let module F = Lin.Checker.Make (T) in
-      (Option.is_some (F.check ops), "wing-gong")
-    else
-      let r = M.check ops in
-      (r.M.linearizable, Monitor.method_to_string r.M.method_)
+  let (linearizable, label), m =
+    Perf.Measure.measure (fun () ->
+        if wing_gong then
+          let module F = Lin.Checker.Make (T) in
+          (Option.is_some (F.check ops), "wing-gong")
+        else
+          let r = M.check ops in
+          (r.M.linearizable, Monitor.method_to_string r.M.method_))
   in
-  (linearizable, label, Unix.gettimeofday () -. t0)
+  (linearizable, label, float_of_int m.Perf.Measure.wall_ns /. 1e9)
 
 let monitor_section () =
   section "Monitors: specialized O(n log n) kernels vs the Wing-Gong DFS";

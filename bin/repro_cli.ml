@@ -9,6 +9,7 @@
      repro claims      — machine-check the proofs' arithmetic claims
      repro ablate      — run the timing-ablation harness
      repro faults      — run the fault-injection robustness matrix
+     repro bench       — run the deterministic perf suite / regression gate
      repro finding     — demonstrate the accessor-wait counterexample
 
    All durations are exact rationals, written as "3", "7/2", ... *)
@@ -784,6 +785,192 @@ let sweep_cmd =
         (const run $ jobs_arg $ json_arg $ sweep_type_arg $ grid_arg
        $ fail_fast_arg $ seed_arg $ sweep_ops_arg $ checker_arg))
 
+(* ---------------- bench ---------------- *)
+
+(* Every suite section is measured in its own subprocess: allocation
+   counters are byte-identical for the first measurement in a fresh
+   process, and the regression gate depends on exactly that. *)
+
+let head_commit () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception _ -> "unknown"
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown")
+
+let bench_cmd =
+  let section_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "section" ] ~docv:"NAME"
+          ~doc:
+            "Internal: measure a single suite section in this process and \
+             print its datapoint.  The parent driver passes this so that \
+             every section is the first measurement of a fresh process, \
+             which is what makes the metrics deterministic.")
+  in
+  let commit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "commit" ]
+          ~doc:"Internal: commit sha to stamp on the datapoint.")
+  in
+  let compare_arg =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Gate the run against the recorded history and exit nonzero on \
+             an allocation regression beyond the tolerance.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"REF"
+          ~doc:
+            "Commit sha (prefix) to gate against, instead of the most \
+             recent recorded datapoint from another commit.")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "tolerance" ]
+          ~doc:
+            "Allowed fractional growth of per-event allocation before the \
+             gate fails.")
+  in
+  let history_arg =
+    Arg.(
+      value & opt string "bench/history"
+      & info [ "history-dir" ] ~docv:"DIR"
+          ~doc:"Directory holding one datapoint file per bench section.")
+  in
+  let no_record_arg =
+    Arg.(
+      value & flag
+      & info [ "no-record" ] ~doc:"Do not update the history files.")
+  in
+  let run_child name commit =
+    match Perf.Suite.find name with
+    | None -> `Error (false, Printf.sprintf "unknown bench section %S" name)
+    | Some s ->
+        let events, m = Perf.Measure.measure s.run in
+        let dp = Perf.History.of_metrics ~commit ~bench:s.name ~events m in
+        let line = Perf.History.to_line dp in
+        let instr =
+          match m.instructions with
+          | Some n -> Int64.to_string n
+          | None -> "null"
+        in
+        (* The datapoint line, with the nondeterministic extras the
+           parent displays but never persists. *)
+        Printf.printf "%s,\"wall_ns\":%d,\"instructions\":%s}\n"
+          (String.sub line 0 (String.length line - 1))
+          m.wall_ns instr;
+        Printf.printf "wall=%.1fms minor=%.0f (%.2f/event) promoted=%.0f instr=%s\n"
+          (float_of_int m.wall_ns /. 1e6)
+          m.minor_words
+          (m.minor_words /. float_of_int (max 1 events))
+          m.promoted_words
+          (match m.instructions with
+          | Some n -> Int64.to_string n
+          | None -> "n/a");
+        `Ok ()
+  in
+  let run_section_subprocess ~commit name =
+    let exe = Sys.executable_name in
+    let r_fd, w_fd = Unix.pipe () in
+    let pid =
+      Unix.create_process exe
+        [| exe; "bench"; "--section"; name; "--commit"; commit |]
+        Unix.stdin w_fd Unix.stderr
+    in
+    Unix.close w_fd;
+    let ic = Unix.in_channel_of_descr r_fd in
+    let buf = Buffer.create 256 in
+    (try
+       while true do
+         Buffer.add_channel buf ic 1
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let _, status = Unix.waitpid [] pid in
+    match status with
+    | Unix.WEXITED 0 -> Ok (String.trim (Buffer.contents buf))
+    | _ -> Error (Printf.sprintf "bench section %s failed" name)
+  in
+  let run compare baseline tolerance history_dir no_record section commit =
+    match section with
+    | Some name -> run_child name (Option.value commit ~default:"unknown")
+    | None ->
+        let commit =
+          match commit with Some c -> c | None -> head_commit ()
+        in
+        let failures = ref [] in
+        let fail msg = failures := msg :: !failures in
+        List.iter
+          (fun (s : Perf.Suite.section) ->
+            match run_section_subprocess ~commit s.name with
+            | Error msg -> fail msg
+            | Ok out -> (
+                let lines = String.split_on_char '\n' out in
+                let json = match lines with l :: _ -> l | [] -> "" in
+                match Perf.History.of_line json with
+                | None -> fail (s.name ^ ": unparseable datapoint")
+                | Some dp ->
+                    let human =
+                      match lines with _ :: h :: _ -> h | _ -> ""
+                    in
+                    Printf.printf "%-16s %s\n" s.name human;
+                    let file =
+                      Filename.concat history_dir (s.name ^ ".jsonl")
+                    in
+                    let hist = Perf.History.load ~file in
+                    (if compare then
+                       match
+                         Perf.History.pick_baseline ?ref_prefix:baseline
+                           ~head:commit hist
+                       with
+                       | Error msg -> fail (s.name ^ ": " ^ msg)
+                       | Ok None ->
+                           Printf.printf
+                             "%-16s no recorded baseline; gate passes \
+                              vacuously\n"
+                             ""
+                       | Ok (Some b) -> (
+                           match
+                             Perf.History.gate ~baseline:b ~current:dp
+                               ~tolerance
+                           with
+                           | Ok msg -> Printf.printf "%-16s PASS %s\n" "" msg
+                           | Error msg ->
+                               Printf.printf "%-16s FAIL %s\n" "" msg;
+                               fail (s.name ^ ": " ^ msg)));
+                    if not no_record then Perf.History.upsert ~file dp))
+          Perf.Suite.sections;
+        if !failures = [] then `Ok ()
+        else `Error (false, String.concat "\n" (List.rev !failures))
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the deterministic perf suite: each section is measured in a \
+          fresh subprocess, its allocation counters (exactly reproducible \
+          for a deterministic workload) are recorded per commit under \
+          bench/history/, and $(b,--compare) gates the run against the \
+          recorded baseline, failing on per-event allocation growth beyond \
+          the tolerance.  Wall time and the hardware instruction counter \
+          (when the kernel allows it) are reported but never gated on.")
+    Term.(
+      ret
+        (const run $ compare_arg $ baseline_arg $ tolerance_arg $ history_arg
+       $ no_record_arg $ section_arg $ commit_arg))
+
 (* ---------------- finding ---------------- *)
 
 let finding_cmd =
@@ -836,6 +1023,7 @@ let main =
       ablate_cmd;
       faults_cmd;
       sync_cmd;
+      bench_cmd;
       finding_cmd;
     ]
 

@@ -1,0 +1,64 @@
+(** Per-commit bench history and the regression gate.
+
+    Each bench section persists one datapoint per commit into
+    [bench/history/<bench>.jsonl] — one JSON object per line, appended
+    in chronological order.  Only {e deterministic} metrics are
+    persisted (allocation counters and the event count); wall time and
+    instruction counts vary run to run and would break the property
+    the gate relies on: re-running an unchanged workload rewrites the
+    history file byte-for-byte identically.
+
+    Comparison normalizes by the event count, so a deliberate workload
+    resize does not masquerade as an allocation regression. *)
+
+type datapoint = {
+  commit : string;  (** full git sha, or ["unknown"] outside a repo *)
+  bench : string;
+  events : int;  (** workload scale; denominator for the gate *)
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val of_metrics :
+  commit:string -> bench:string -> events:int -> Measure.metrics -> datapoint
+
+val to_line : datapoint -> string
+(** One JSON object, no trailing newline.  Field order is fixed so
+    that equal datapoints serialize to equal bytes. *)
+
+val of_line : string -> datapoint option
+(** Parses lines produced by {!to_line} (a flat JSON object scanner,
+    not a general JSON parser); [None] on anything else. *)
+
+val load : file:string -> datapoint list
+(** Datapoints in file order; a missing file is an empty history. *)
+
+val upsert : file:string -> datapoint -> unit
+(** Replace the existing entry with the same commit in place, or
+    append.  Creates the file (and its directory) on first use; the
+    write is atomic (temp file + rename).  Re-recording an identical
+    datapoint leaves the file byte-identical. *)
+
+val pick_baseline :
+  ?ref_prefix:string ->
+  head:string ->
+  datapoint list ->
+  (datapoint option, string) result
+(** The datapoint to gate against.  With [ref_prefix], the most recent
+    entry whose commit starts with that prefix ([Error] if none
+    matches).  Otherwise the most recent entry for a commit other than
+    [head], falling back to [head]'s own entry (a rerun then compares
+    against itself and trivially passes); [Ok None] on an empty
+    history. *)
+
+val gate :
+  baseline:datapoint ->
+  current:datapoint ->
+  tolerance:float ->
+  (string, string) result
+(** [Ok summary] when [current]'s per-event [minor_words] and
+    [promoted_words] are within [(1 + tolerance)] of [baseline]'s;
+    [Error summary] otherwise.  Improvements always pass. *)

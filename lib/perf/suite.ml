@@ -1,0 +1,69 @@
+type section = { name : string; description : string; run : unit -> int }
+
+(* Small fractions with denominators from a fixed set (lcm <= 420), so
+   running sums stay far from Overflow while still exercising the
+   frac/frac paths: add, sub, mul and both branches of compare. *)
+let rat_kernel () =
+  let ops = 300_000 in
+  let acc = ref Rat.zero in
+  for i = 1 to ops do
+    let a = Rat.make ((i mod 97) - 48) ((i mod 7) + 1) in
+    let b = Rat.make ((i mod 61) - 30) ((i mod 5) + 2) in
+    let s = Rat.add a b in
+    let p = Rat.mul a b in
+    let d = if Rat.compare s p >= 0 then Rat.sub s p else Rat.sub p s in
+    acc := Rat.add !acc d;
+    if i land 4095 = 0 then acc := Rat.make (Rat.sign !acc) 3
+  done;
+  ignore (Sys.opaque_identity !acc);
+  ops
+
+(* The streaming bench's workload: [per_proc] closed-loop FIFO-queue
+   operations per process on the 4-process optimal-epsilon model, unit
+   think time 1/2, seeded delays.  retain_events:false keeps memory
+   O(operations) so the allocation profile reflects the hot path, not
+   trace retention. *)
+let queue_events ~per_proc () =
+  let rat = Rat.make in
+  let model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 12 1) ~u:(rat 4 1) in
+  let x = rat 3 1 in
+  let offsets = [| Rat.zero; rat 1 1; rat (-1) 1; rat 3 2 |] in
+  let module Q = Spec.Fifo_queue in
+  let module QAlgo = Core.Wtlw.Make (Q) in
+  let cluster =
+    QAlgo.create ~retain_events:false ~model ~x ~offsets
+      ~delay:(Sim.Net.random_model ~seed:9 model) ()
+  in
+  let engine = cluster.engine in
+  let rng = Random.State.make [| 9 |] in
+  let remaining = Array.make model.n per_proc in
+  Sim.Engine.set_response_callback engine (fun ~proc ~inv:_ ~resp:_ ~time ->
+      if remaining.(proc) > 0 then begin
+        remaining.(proc) <- remaining.(proc) - 1;
+        Sim.Engine.schedule_invoke engine ~at:(Rat.add time (rat 1 2)) ~proc
+          (Q.gen_invocation rng)
+      end);
+  for proc = 0 to model.n - 1 do
+    remaining.(proc) <- remaining.(proc) - 1;
+    Sim.Engine.schedule_invoke engine ~at:(Rat.make proc (2 * model.n)) ~proc
+      (Q.gen_invocation rng)
+  done;
+  Sim.Engine.run ~max_events:10_000_000 engine;
+  Sim.Trace.event_count (Sim.Engine.trace engine)
+
+let sections =
+  [
+    {
+      name = "rat-kernel";
+      description = "300k-op rational arithmetic loop (add/sub/mul/compare)";
+      run = rat_kernel;
+    };
+    {
+      name = "engine-queue-8k";
+      description =
+        "8000-op closed-loop FIFO queue, 4 processes, optimal-epsilon model";
+      run = queue_events ~per_proc:2000;
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) sections

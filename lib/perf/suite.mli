@@ -1,0 +1,28 @@
+(** The deterministic bench sections behind [repro bench].
+
+    Every section is a pure function of its own constants: fixed
+    model, fixed seeds, no wall-clock input — so its allocation
+    profile is exactly reproducible and can be gated (see {!History}).
+    Sections return their event/operation count, the denominator for
+    per-event normalization. *)
+
+type section = {
+  name : string;
+  description : string;
+  run : unit -> int;  (** run the workload, return its event count *)
+}
+
+val sections : section list
+(** ["rat-kernel"]: tight rational-arithmetic loop over the small
+    fractions simulation time is made of.  ["engine-queue-8k"]: the
+    8000-operation closed-loop FIFO-queue workload (4 processes,
+    optimal-epsilon model) — the same shape as the streaming bench in
+    [bench/main.ml]. *)
+
+val find : string -> section option
+
+val queue_events : per_proc:int -> unit -> int
+(** The closed-loop queue workload at an arbitrary scale:
+    [per_proc * 4] operations.  Runs the simulation to completion and
+    returns the number of dispatched events.  Exposed for the
+    allocation-budget regression test. *)

@@ -12,11 +12,19 @@
     are OCaml [int]s (63-bit); simulation-scale arithmetic stays far
     from overflow, and {!make} raises on a zero denominator.
 
+    Integer-valued rationals (denominator 1) are carried unboxed, as
+    immediate machine ints, and their arithmetic is plain checked int
+    arithmetic — no allocation, no gcd — promoting to the exact
+    gcd-reduced cross-multiplication path only when a true fraction is
+    involved.  The representation is canonical, so structural equality
+    and polymorphic hashing agree with {!equal} and {!hash}.
+
     Overflow is never silent: intermediates are reduced by gcd before
     cross-multiplying, comparison falls back to an exact
     continued-fraction descent when the cross products would wrap, and
-    the arithmetic operations raise {!Overflow} when a result cannot be
-    represented in machine integers. *)
+    the arithmetic operations (including {!neg}, {!abs} and {!make}'s
+    sign normalization at [min_int]) raise {!Overflow} when a result
+    cannot be represented in machine integers. *)
 
 type t
 
@@ -55,7 +63,11 @@ val div : t -> t -> t
 (** @raise Division_by_zero if the divisor is zero. *)
 
 val neg : t -> t
+(** @raise Overflow when the numerator is [min_int] ([-min_int] is not
+    representable). *)
+
 val abs : t -> t
+(** @raise Overflow when the numerator is [min_int]. *)
 
 val mul_int : t -> int -> t
 val div_int : t -> int -> t

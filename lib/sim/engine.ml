@@ -1,8 +1,8 @@
 type ('msg, 'tag, 'resp) ctx = {
   self : int;
   n : int;
-  real_time : Rat.t;
-  local_time : Rat.t;
+  mutable real_time : Rat.t;
+  mutable local_time : Rat.t;
   send : dst:int -> 'msg -> unit;
   broadcast : 'msg -> unit;
   set_timer_after : Rat.t -> 'tag -> int;
@@ -28,6 +28,9 @@ type ('msg, 'tag, 'inv, 'resp) t = {
      on top of [offsets] without re-validating the skew bound — that is
      the point of the Skew fault. *)
   skews : Rat.t array;
+  (* offsets.(i) + skews.(i), fixed for the run: the local-clock
+     translation applied to every dispatched event. *)
+  local_offset : Rat.t array;
   injector : Fault.injector option;
   crash_at : Rat.t option array;
   crash_logged : bool array;
@@ -38,6 +41,11 @@ type ('msg, 'tag, 'inv, 'resp) t = {
   cancelled : (int, unit) Hashtbl.t;
   pending : 'inv option array;
   send_seq : int array array;
+  (* One ctx per process, built at creation and reused for every
+     dispatched event: only the two clock fields change per event, so
+     the hot loop re-stamps them instead of allocating a fresh record
+     and six fresh closures. *)
+  mutable ctxs : ('msg, 'tag, 'resp) ctx array;
   mutable now : Rat.t;
   mutable next_timer_id : int;
   mutable on_response :
@@ -66,6 +74,7 @@ let create ?(retain_events = true) ?(faults = Fault.none) ~model ~offsets
       model;
       offsets = Array.copy offsets;
       skews;
+      local_offset = Array.init n (fun i -> Rat.add offsets.(i) skews.(i));
       injector;
       crash_at;
       crash_logged = Array.make n false;
@@ -76,6 +85,7 @@ let create ?(retain_events = true) ?(faults = Fault.none) ~model ~offsets
       cancelled = Hashtbl.create 64;
       pending = Array.make n None;
       send_seq = Array.make_matrix n n 0;
+      ctxs = [||];
       now = Rat.zero;
       next_timer_id = 0;
       on_response = (fun ~proc:_ ~inv:_ ~resp:_ ~time:_ -> ());
@@ -93,8 +103,7 @@ let create ?(retain_events = true) ?(faults = Fault.none) ~model ~offsets
 let model t = t.model
 let offsets t = Array.copy t.offsets
 
-let effective_offsets t =
-  Array.init t.model.n (fun i -> Rat.add t.offsets.(i) t.skews.(i))
+let effective_offsets t = Array.copy t.local_offset
 
 let now t = t.now
 let trace t = t.trace
@@ -137,7 +146,10 @@ let send_message t ~src ~dst msg =
     (fun fault -> Trace.record t.trace (Fault { time = t.now; fault }))
     injected
 
-let make_ctx t ~self =
+(* Build process [self]'s reusable ctx: the closures consult [t.now] at
+   call time, so only the two clock fields need re-stamping per event
+   (done by [get_ctx]). *)
+let build_ctx t ~self =
   let set_timer_after dur tag =
     if Rat.sign dur < 0 then invalid_arg "Engine: negative timer duration";
     let id = t.next_timer_id in
@@ -169,13 +181,21 @@ let make_ctx t ~self =
     self;
     n = t.model.n;
     real_time = t.now;
-    local_time = Rat.add t.now (Rat.add t.offsets.(self) t.skews.(self));
+    local_time = Rat.add t.now t.local_offset.(self);
     send = (fun ~dst msg -> send_message t ~src:self ~dst msg);
     broadcast;
     set_timer_after;
     cancel_timer;
     respond;
   }
+
+let get_ctx t ~self =
+  if Array.length t.ctxs = 0 then
+    t.ctxs <- Array.init t.model.n (fun self -> build_ctx t ~self);
+  let c = t.ctxs.(self) in
+  c.real_time <- t.now;
+  c.local_time <- Rat.add t.now t.local_offset.(self);
+  c
 
 (* Crash-stop: the process handles no event at real time >= its crash
    time.  The first suppressed event records a single Crashed fault. *)
@@ -210,30 +230,38 @@ let dispatch t event =
         | None -> ());
         t.pending.(proc) <- Some inv;
         Trace.record t.trace (Invoke { time = t.now; proc; inv });
-        t.handlers.on_invoke (make_ctx t ~self:proc) inv
+        t.handlers.on_invoke (get_ctx t ~self:proc) inv
       end
   | Ev_deliver { src; dst; msg } ->
       if not (crashed t dst) then begin
         Trace.record t.trace (Deliver { time = t.now; src; dst; msg });
-        t.handlers.on_receive (make_ctx t ~self:dst) ~src msg
+        t.handlers.on_receive (get_ctx t ~self:dst) ~src msg
       end
   | Ev_timer { proc; id; tag } ->
-      if (not (crashed t proc)) && not (Hashtbl.mem t.cancelled id) then begin
+      (* This queue entry is the cancelled id's only consumer: drop the
+         table entry now (whether or not the process also crashed) or a
+         timer-churning run grows [cancelled] without bound. *)
+      let was_cancelled = Hashtbl.mem t.cancelled id in
+      if was_cancelled then Hashtbl.remove t.cancelled id;
+      if (not (crashed t proc)) && not was_cancelled then begin
         Trace.record t.trace (Timer_fire { time = t.now; proc; id });
-        t.handlers.on_timer (make_ctx t ~self:proc) tag
+        t.handlers.on_timer (get_ctx t ~self:proc) tag
       end
+
+let cancelled_timers t = Hashtbl.length t.cancelled
 
 let run ?(max_events = 1_000_000) t =
   let steps = ref 0 in
   let rec loop () =
-    match Event_queue.pop t.queue with
-    | None -> ()
-    | Some (time, event) ->
-        incr steps;
-        if !steps > max_events then raise (Step_limit_exceeded max_events);
-        assert (Rat.ge time t.now);
-        t.now <- time;
-        dispatch t event;
-        loop ()
+    if not (Event_queue.is_empty t.queue) then begin
+      let time = Event_queue.min_time t.queue in
+      let event = Event_queue.pop_min t.queue in
+      incr steps;
+      if !steps > max_events then raise (Step_limit_exceeded max_events);
+      assert (Rat.ge time t.now);
+      t.now <- time;
+      dispatch t event;
+      loop ()
+    end
   in
   loop ()

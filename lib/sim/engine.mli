@@ -13,12 +13,19 @@ type ('msg, 'tag, 'inv, 'resp) t
 
 (** Capabilities available to a process while it handles one event.
     Algorithms should consult only {!field-local_time}; [real_time] is
-    exposed for instrumentation and assertions. *)
+    exposed for instrumentation and assertions.
+
+    The engine reuses one ctx per process across events, re-stamping
+    the two clock fields before each handler runs (they are [mutable]
+    for exactly that reason — treat them as read-only).  A ctx is
+    therefore only valid for the duration of the handler call it was
+    passed to: a handler that stores it and reads the clock fields
+    later observes the times of some later event. *)
 type ('msg, 'tag, 'resp) ctx = {
   self : int;
   n : int;
-  real_time : Rat.t;
-  local_time : Rat.t;
+  mutable real_time : Rat.t;
+  mutable local_time : Rat.t;
   send : dst:int -> 'msg -> unit;
   broadcast : 'msg -> unit;  (** send to every process except [self] *)
   set_timer_after : Rat.t -> 'tag -> int;
@@ -86,6 +93,12 @@ val set_response_callback :
 (** Called each time an operation completes; may call
     {!schedule_invoke} with [at >= time], enabling closed-loop
     workloads. *)
+
+val cancelled_timers : ('msg, 'tag, 'inv, 'resp) t -> int
+(** Number of cancelled-timer ids whose queue entry has not yet been
+    consumed.  After a completed {!run} this is 0 — the dispatcher
+    drops each id when it skips the cancelled entry — which the leak
+    regression test asserts. *)
 
 exception Step_limit_exceeded of int
 

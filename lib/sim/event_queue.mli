@@ -2,7 +2,12 @@
 
     Events are ordered by [(time, sequence)] where the sequence number is
     assigned on insertion; ties in time therefore pop in FIFO order, which
-    makes simulation runs deterministic. *)
+    makes simulation runs deterministic.
+
+    The heap is flat — four parallel arrays instead of an array of
+    entry records — so {!push} and {!pop_min} allocate nothing; the
+    simulator's main loop runs one push and one pop per dispatched
+    event. *)
 
 type 'a t
 
@@ -18,6 +23,15 @@ val push : 'a t -> ?priority:int -> time:Rat.t -> 'a -> unit
 
 val pop : 'a t -> (Rat.t * 'a) option
 (** Remove and return the earliest event, FIFO among equal times. *)
+
+val min_time : 'a t -> Rat.t
+(** Time of the earliest event, without removing it and without
+    allocating.  @raise Invalid_argument on an empty queue. *)
+
+val pop_min : 'a t -> 'a
+(** Remove and return the earliest event's payload (the allocation-free
+    variant of {!pop}; read {!min_time} first for the timestamp).
+    @raise Invalid_argument on an empty queue. *)
 
 val peek_time : 'a t -> Rat.t option
 

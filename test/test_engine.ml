@@ -246,6 +246,67 @@ let test_cancelled_timer_does_not_fire () =
   Alcotest.(check int) "the live timer responded" 1
     (Sim.Trace.operation_count (Sim.Engine.trace e))
 
+(* Regression: the cancelled-timer table must not leak.  Each cancelled
+   id's queue entry is its only consumer; before the fix the dispatcher
+   removed the id only on the fire path, so a timer-churning run grew
+   the table without bound. *)
+let test_cancelled_table_drains () =
+  let rounds = 500 in
+  let count = ref 0 in
+  let churn (ctx : (unit, string, string) Sim.Engine.ctx) =
+    if !count < rounds then begin
+      incr count;
+      let doomed = ctx.set_timer_after Rat.one "doomed" in
+      ctx.cancel_timer doomed;
+      ignore (ctx.set_timer_after Rat.one "tick")
+    end
+  in
+  let on_invoke ctx _ = churn ctx in
+  let on_timer (ctx : (unit, string, string) Sim.Engine.ctx) tag =
+    if tag = "doomed" then Alcotest.fail "cancelled timer fired";
+    churn ctx
+  in
+  let e =
+    Sim.Engine.create ~model ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.constant (rat 8 1))
+      ~handlers:{ on_invoke; on_receive = (fun _ ~src:_ () -> ()); on_timer }
+      ()
+  in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "go";
+  Sim.Engine.run ~max_events:(8 * rounds) e;
+  Alcotest.(check int) "all rounds ran" rounds !count;
+  Alcotest.(check int) "cancelled table drained" 0
+    (Sim.Engine.cancelled_timers e)
+
+(* The same invariant when the cancelling process crashes before the
+   cancelled entry pops: the skip path must still drop the id. *)
+let test_cancelled_table_drains_after_crash () =
+  let on_invoke (ctx : (unit, string, string) Sim.Engine.ctx) _ =
+    let doomed = ctx.set_timer_after (rat 10 1) "doomed" in
+    ctx.cancel_timer doomed
+  in
+  let faults =
+    {
+      Sim.Fault.none with
+      specs = [ Sim.Fault.crash ~proc:0 ~at:(rat 1 1) ];
+    }
+  in
+  let e =
+    Sim.Engine.create ~faults ~model ~offsets:(Array.make 3 Rat.zero)
+      ~delay:(Sim.Net.constant (rat 8 1))
+      ~handlers:
+        {
+          on_invoke;
+          on_receive = (fun _ ~src:_ () -> ());
+          on_timer = (fun _ _ -> ());
+        }
+      ()
+  in
+  Sim.Engine.schedule_invoke e ~at:Rat.zero ~proc:0 "go";
+  Sim.Engine.run e;
+  Alcotest.(check int) "cancelled table drained despite crash" 0
+    (Sim.Engine.cancelled_timers e)
+
 let () =
   Alcotest.run "engine"
     [
@@ -269,5 +330,9 @@ let () =
             test_send_validation;
           Alcotest.test_case "cancelled timer" `Quick
             test_cancelled_timer_does_not_fire;
+          Alcotest.test_case "cancelled table drains" `Quick
+            test_cancelled_table_drains;
+          Alcotest.test_case "cancelled table drains after crash" `Quick
+            test_cancelled_table_drains_after_crash;
         ] );
     ]

@@ -47,6 +47,61 @@ let test_interleaved () =
   let rest = List.init 3 (fun _ -> snd (Option.get (Sim.Event_queue.pop q))) in
   Alcotest.(check (list int)) "sorted rest" [ 2; 3; 5 ] rest
 
+(* The allocation-free API the engine's hot loop uses: [min_time] then
+   [pop_min] must agree with [pop], and both must refuse an empty
+   queue. *)
+let test_min_time_pop_min () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.check_raises "min_time on empty"
+    (Invalid_argument "Event_queue.min_time: empty queue") (fun () ->
+      ignore (Sim.Event_queue.min_time q));
+  Alcotest.check_raises "pop_min on empty"
+    (Invalid_argument "Event_queue.pop_min: empty queue") (fun () ->
+      ignore (Sim.Event_queue.pop_min q));
+  Sim.Event_queue.push q ~time:(rat 7 2) "late";
+  Sim.Event_queue.push q ~time:(rat 1 2) "early";
+  Alcotest.(check string)
+    "min_time is earliest" "1/2"
+    (Rat.to_string (Sim.Event_queue.min_time q));
+  Alcotest.(check string) "pop_min matches" "early" (Sim.Event_queue.pop_min q);
+  Alcotest.(check string)
+    "min_time advances" "7/2"
+    (Rat.to_string (Sim.Event_queue.min_time q));
+  Alcotest.(check string) "drains" "late" (Sim.Event_queue.pop_min q);
+  Alcotest.(check bool) "empty again" true (Sim.Event_queue.is_empty q)
+
+(* Property: interleaving pushes with pop_min drains exactly like the
+   Option-returning pop, across growth boundaries of the flat arrays. *)
+let prop_pop_min_agrees_with_pop =
+  QCheck.Test.make ~name:"pop_min/min_time agree with pop" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 0 100) (pair (int_range 0 50) (int_range 1 9)))
+    (fun entries ->
+      let q1 = Sim.Event_queue.create () in
+      let q2 = Sim.Event_queue.create () in
+      List.iteri
+        (fun i (n, d) ->
+          let time = Rat.make n d in
+          Sim.Event_queue.push q1 ~time i;
+          Sim.Event_queue.push q2 ~time i)
+        entries;
+      let rec drain acc =
+        if Sim.Event_queue.is_empty q1 then List.rev acc
+        else begin
+          let t1 = Sim.Event_queue.min_time q1 in
+          let v1 = Sim.Event_queue.pop_min q1 in
+          match Sim.Event_queue.pop q2 with
+          | Some (t2, v2) when Rat.equal t1 t2 && v1 = v2 ->
+              drain ((t1, v1) :: acc)
+          | _ -> raise Exit
+        end
+      in
+      match drain [] with
+      | drained ->
+          List.length drained = List.length entries
+          && Sim.Event_queue.pop q2 = None
+      | exception Exit -> false)
+
 (* Property: draining the queue yields times in non-decreasing order,
    whatever the insertion order, including fractional times. *)
 let arb_times =
@@ -118,9 +173,14 @@ let () =
           Alcotest.test_case "ordering" `Quick test_ordering;
           Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
           Alcotest.test_case "interleaved" `Quick test_interleaved;
+          Alcotest.test_case "min_time / pop_min" `Quick test_min_time_pop_min;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_sorted_drain; prop_fifo_stability; prop_duplicate_stability ]
-      );
+          [
+            prop_sorted_drain;
+            prop_fifo_stability;
+            prop_duplicate_stability;
+            prop_pop_min_agrees_with_pop;
+          ] );
     ]

@@ -1,0 +1,152 @@
+(* Tests for the deterministic perf harness: measurement plumbing, the
+   datapoint codec and regression gate, and the allocation budget of
+   the simulator's hot path. *)
+
+let dp ?(commit = "c0") ?(bench = "b") ?(events = 1000) ?(minor = 10000.)
+    ?(promoted = 500.) () =
+  {
+    Perf.History.commit;
+    bench;
+    events;
+    minor_words = minor;
+    promoted_words = promoted;
+    major_words = 600.;
+    minor_collections = 3;
+    major_collections = 1;
+  }
+
+let test_measure_smoke () =
+  let x, m = Perf.Measure.measure (fun () -> List.init 10_000 Fun.id) in
+  Alcotest.(check int) "result passes through" 10_000 (List.length x);
+  Alcotest.(check bool) "allocation observed" true (m.minor_words > 0.);
+  Alcotest.(check bool) "wall time observed" true (m.wall_ns > 0)
+
+let test_monotonic_clock () =
+  let t0 = Perf.Measure.monotonic_ns () in
+  let t1 = Perf.Measure.monotonic_ns () in
+  Alcotest.(check bool) "never goes backwards" true (t1 >= t0)
+
+let test_line_roundtrip () =
+  let d = dp ~commit:"abc123" ~bench:"engine-queue-8k" ~events:141519 () in
+  match Perf.History.of_line (Perf.History.to_line d) with
+  | None -> Alcotest.fail "roundtrip failed to parse"
+  | Some d' ->
+      Alcotest.(check bool) "roundtrip is identity" true (d = d');
+      (* Extra (nondeterministic, display-only) fields are ignored. *)
+      let line = Perf.History.to_line d in
+      let extended =
+        String.sub line 0 (String.length line - 1)
+        ^ ",\"wall_ns\":123456,\"instructions\":null}"
+      in
+      Alcotest.(check bool) "extra fields ignored" true
+        (Perf.History.of_line extended = Some d);
+      Alcotest.(check bool) "garbage rejected" true
+        (Perf.History.of_line "not json" = None)
+
+let test_upsert_idempotent () =
+  let file = Filename.temp_file "perf_history" ".jsonl" in
+  Sys.remove file;
+  let d1 = dp ~commit:"aaa" () and d2 = dp ~commit:"bbb" ~minor:11000. () in
+  Perf.History.upsert ~file d1;
+  Perf.History.upsert ~file d2;
+  Alcotest.(check int) "two entries" 2
+    (List.length (Perf.History.load ~file));
+  let read () =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let before = read () in
+  (* Re-recording the same datapoint must leave the file untouched —
+     the property the byte-identical-rerun guarantee rests on. *)
+  Perf.History.upsert ~file d2;
+  Alcotest.(check string) "identical rerun is byte-identical" before (read ());
+  (* Upserting a changed datapoint for an existing commit replaces in
+     place rather than appending. *)
+  Perf.History.upsert ~file (dp ~commit:"aaa" ~minor:99999. ());
+  let points = Perf.History.load ~file in
+  Alcotest.(check int) "still two entries" 2 (List.length points);
+  Alcotest.(check (float 0.01)) "replaced in place" 99999.
+    (List.nth points 0).minor_words;
+  Sys.remove file
+
+let test_pick_baseline () =
+  let history = [ dp ~commit:"aaa" (); dp ~commit:"bbb" (); dp ~commit:"head" () ] in
+  let get = function
+    | Ok (Some d) -> d.Perf.History.commit
+    | Ok None -> "<none>"
+    | Error _ -> "<error>"
+  in
+  Alcotest.(check string) "most recent non-head" "bbb"
+    (get (Perf.History.pick_baseline ~head:"head" history));
+  Alcotest.(check string) "explicit ref by prefix" "aa"
+    (String.sub (get (Perf.History.pick_baseline ~ref_prefix:"aa" ~head:"head" history)) 0 2);
+  Alcotest.(check string) "unknown ref errors" "<error>"
+    (get (Perf.History.pick_baseline ~ref_prefix:"zzz" ~head:"head" history));
+  Alcotest.(check string) "only own commit falls back to it" "head"
+    (get (Perf.History.pick_baseline ~head:"head" [ dp ~commit:"head" () ]));
+  Alcotest.(check string) "empty history is none" "<none>"
+    (get (Perf.History.pick_baseline ~head:"head" []))
+
+let test_gate () =
+  let baseline = dp () in
+  let pass d =
+    match Perf.History.gate ~baseline ~current:d ~tolerance:0.02 with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  Alcotest.(check bool) "identical rerun passes" true (pass (dp ()));
+  Alcotest.(check bool) "within tolerance passes" true
+    (pass (dp ~minor:10100. ()));
+  Alcotest.(check bool) "improvement passes" true (pass (dp ~minor:8000. ()));
+  (* A synthetically inflated current datapoint must fail the gate. *)
+  Alcotest.(check bool) "inflated minor words fails" false
+    (pass (dp ~minor:12000. ()));
+  Alcotest.(check bool) "inflated promoted words fails" false
+    (pass (dp ~promoted:900. ()));
+  (* Per-event normalization: doubling the workload and the allocation
+     together is not a regression. *)
+  Alcotest.(check bool) "workload resize not a regression" true
+    (pass (dp ~events:2000 ~minor:20000. ~promoted:1000. ()))
+
+(* The allocation budget of the hot path, in minor words per dispatched
+   event on a 10k-operation closed-loop queue workload.  The flattened
+   event queue + cached ctx + unboxed Rat land this around 27; the
+   entry-record heap and per-event ctx allocation of the previous
+   engine sat around 48.  The budget leaves headroom for noise but
+   fails loudly if per-event allocation creeps back up. *)
+let test_allocation_budget () =
+  let budget = 35.0 in
+  let events, m =
+    Perf.Measure.measure (fun () -> Perf.Suite.queue_events ~per_proc:2500 ())
+  in
+  Alcotest.(check bool) "workload ran" true (events > 100_000);
+  let per_event = m.minor_words /. float_of_int events in
+  if per_event > budget then
+    Alcotest.failf
+      "allocation budget exceeded: %.1f minor words/event (budget %.1f)"
+      per_event budget
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "measure",
+        [
+          Alcotest.test_case "measure smoke" `Quick test_measure_smoke;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "line roundtrip" `Quick test_line_roundtrip;
+          Alcotest.test_case "upsert idempotent" `Quick test_upsert_idempotent;
+          Alcotest.test_case "pick baseline" `Quick test_pick_baseline;
+          Alcotest.test_case "gate" `Quick test_gate;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "allocation per event" `Quick
+            test_allocation_budget;
+        ] );
+    ]

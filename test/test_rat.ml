@@ -134,6 +134,69 @@ let test_compare_near_overflow () =
   eq "max at scale" (rat big (big - 1))
     (Rat.max (rat (big + 1) big) (rat big (big - 1)))
 
+(* The [min_int] boundary: [-min_int] does not exist, so every sign
+   normalization that would need it must raise [Overflow] rather than
+   silently wrap to a negative "absolute value". *)
+let test_min_int_boundaries () =
+  let mi = min_int in
+  Alcotest.check_raises "neg min_int raises" Rat.Overflow (fun () ->
+      ignore (Rat.neg (Rat.of_int mi)));
+  Alcotest.check_raises "abs min_int raises" Rat.Overflow (fun () ->
+      ignore (Rat.abs (Rat.of_int mi)));
+  Alcotest.check_raises "make min_int -1 raises" Rat.Overflow (fun () ->
+      ignore (rat mi (-1)));
+  Alcotest.check_raises "neg min_int/3 raises" Rat.Overflow (fun () ->
+      ignore (Rat.neg (rat mi 3)));
+  Alcotest.check_raises "abs min_int/3 raises" Rat.Overflow (fun () ->
+      ignore (Rat.abs (rat mi 3)));
+  (* Sign normalization of min_int over a negative denominator: an even
+     denominator reduces first and survives; an odd one cannot. *)
+  eq "min_int/-2 = 2^61" (rat (1 lsl 61) 1) (rat mi (-2));
+  Alcotest.check_raises "make min_int -3 raises" Rat.Overflow (fun () ->
+      ignore (rat mi (-3)));
+  (* gcd(|min_int|, |min_int|) = 2^62 is unrepresentable; the value is
+     known directly. *)
+  eq "min_int/min_int = 1" Rat.one (rat mi mi);
+  eq "div min_int by itself" Rat.one
+    (Rat.div (Rat.of_int mi) (Rat.of_int mi));
+  eq "div_int min_int by min_int" Rat.one (Rat.div_int (Rat.of_int mi) mi);
+  (* One step inside the boundary everything works. *)
+  eq "neg (min_int+1) = max_int" (Rat.of_int max_int)
+    (Rat.neg (Rat.of_int (mi + 1)));
+  eq "abs (min_int+1) = max_int" (Rat.of_int max_int)
+    (Rat.abs (Rat.of_int (mi + 1)));
+  Alcotest.(check int) "min_int itself is representable" mi
+    (Rat.num (Rat.of_int mi));
+  (* Comparison never negates a numerator, so min_int is fine on
+     either side (the old sign-split fallback wrapped here). *)
+  Alcotest.(check bool) "min_int/3 < min_int/5" true
+    (Rat.lt (rat mi 3) (rat mi 5));
+  Alcotest.(check bool) "min_int/3 < -1/3" true
+    (Rat.lt (rat mi 3) (rat (-1) 3));
+  Alcotest.(check bool) "min_int < min_int+1" true
+    (Rat.lt (Rat.of_int mi) (Rat.of_int (mi + 1)));
+  (* Fast-compare cutoff (operand magnitude 2^30): adjacent fractions
+     order exactly on both sides of it. *)
+  let c = 1 lsl 30 in
+  Alcotest.(check bool) "just below fast-compare cutoff" true
+    (Rat.lt (rat (c - 2) (c - 1)) (rat (c - 1) c));
+  Alcotest.(check bool) "just above fast-compare cutoff" true
+    (Rat.lt (rat (c + 1) (c + 2)) (rat (c + 2) (c + 3)))
+
+(* Integer-valued rationals ride the unboxed fast path; their
+   arithmetic must agree with [make] and machine comparison. *)
+let test_int_fast_path () =
+  Alcotest.(check int) "of_int has den 1" 1 (Rat.den (Rat.of_int 7));
+  eq "add" (rat 12 1) (Rat.add (Rat.of_int 5) (Rat.of_int 7));
+  eq "mixed add promotes" (rat 11 2) (Rat.add (Rat.of_int 5) (rat 1 2));
+  eq "mixed mul reduces" (rat 5 2) (Rat.mul (Rat.of_int 5) (rat 1 2));
+  eq "int div yields fraction" (rat 5 7)
+    (Rat.div (Rat.of_int 5) (Rat.of_int 7));
+  Alcotest.check_raises "int add still checks overflow" Rat.Overflow
+    (fun () -> ignore (Rat.add (Rat.of_int max_int) Rat.one));
+  Alcotest.check_raises "int mul still checks overflow" Rat.Overflow
+    (fun () -> ignore (Rat.mul (Rat.of_int max_int) (Rat.of_int 2)))
+
 (* Property tests: rationals with small components form a totally
    ordered field (no overflow at these scales). *)
 let arb_rat =
@@ -195,6 +258,24 @@ let properties =
         (* a and its unreduced form k*n / k*d are equal, so must hash
            equally (normalization guarantees it). *)
         Rat.hash (Rat.make n d) = Rat.hash (Rat.make (k * n) (k * d)));
+    prop "immediate arithmetic agrees with make" 500
+      QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+      (fun (a, b) ->
+        Rat.equal (Rat.add (Rat.of_int a) (Rat.of_int b)) (rat (a + b) 1)
+        && Rat.equal (Rat.sub (Rat.of_int a) (Rat.of_int b)) (rat (a - b) 1)
+        && Rat.equal (Rat.mul (Rat.of_int a) (Rat.of_int b)) (rat (a * b) 1)
+        && (b = 0
+           || Rat.equal (Rat.div (Rat.of_int a) (Rat.of_int b)) (rat a b))
+        && Rat.compare (Rat.of_int a) (Rat.of_int b) = Int.compare a b);
+    prop "mixed immediate/frac arithmetic consistent" 500
+      QCheck.(
+        pair (int_range (-100) 100)
+          (pair (int_range (-100) 100) (int_range 2 30)))
+      (fun (a, (n, d)) ->
+        let f = rat n d in
+        Rat.equal (Rat.add (Rat.of_int a) f) (rat ((a * d) + n) d)
+        && Rat.equal (Rat.sub (Rat.of_int a) f) (rat ((a * d) - n) d)
+        && Rat.equal (Rat.mul (Rat.of_int a) f) (rat (a * n) d));
   ]
 
 let () =
@@ -215,6 +296,9 @@ let () =
             test_overflow_reduction_saves;
           Alcotest.test_case "comparison exact near overflow" `Quick
             test_compare_near_overflow;
+          Alcotest.test_case "min_int boundaries" `Quick
+            test_min_int_boundaries;
+          Alcotest.test_case "integer fast path" `Quick test_int_fast_path;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest properties);
     ]
