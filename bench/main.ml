@@ -791,6 +791,20 @@ let bechamel_section () =
     in
     ignore report.RQ.by_kind
   in
+  (* The sharded load pipeline end to end: generate, route, run two
+     clusters inline, certify per key, merge histograms. *)
+  let run_load () =
+    let module Sh = Shard.Make (Spec.Fifo_queue) in
+    let t =
+      Sh.run
+        (Shard.Config.make ~keys:16 ~zipf:0.8 ~seed:5 ~shards:2 ~ops:400
+           ~arrival:(Core.Workload.Poisson { rate = rat 1 4 })
+           ~model
+           ~algorithm:(Core.Runtime.Wtlw { x })
+           ())
+    in
+    assert t.Shard.certified
+  in
   let tests =
     Test.make_grouped ~name:"bench"
       [
@@ -809,6 +823,7 @@ let bechamel_section () =
         Test.make ~name:"algo-centralized"
           (Staged.stage (run_algorithm RQ.Centralized));
         Test.make ~name:"algo-tob" (Staged.stage (run_algorithm RQ.Tob));
+        Test.make ~name:"load-sharded" (Staged.stage run_load);
       ]
   in
   let cfg =

@@ -2,6 +2,7 @@
 
      repro tables      — print Tables 1-5 for chosen model parameters
      repro simulate    — run a workload on a chosen data type/algorithm
+     repro load        — drive a generated workload through the sharded runtime
      repro sweep       — run a multicore campaign over the full grid
      repro check       — certify a generated history with a per-type monitor
      repro analyze     — run the static-analysis audit passes
@@ -207,6 +208,178 @@ let simulate_cmd =
       ret
         (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ algo_arg
        $ seed_arg $ ops_arg $ no_retain_arg $ checker_arg $ type_arg))
+
+(* ---------------- load ---------------- *)
+
+(* Sharded load: generate an open-loop arrival stream over a Zipf
+   keyspace, partition it across N independent clusters, certify each
+   key's projection with the per-type monitors, and report per-shard
+   plus aggregate tail quantiles. *)
+
+(* Comma-separated fault plan, e.g. "drop=0.05,dup=0.01,spike=0.1";
+   "none" disables injection.  Spike margin is u+1, guaranteed to leave
+   the admissible envelope. *)
+let parse_fault_plan ~(model : Sim.Model.t) s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok Sim.Fault.none
+  else
+    let spec part =
+      match String.split_on_char '=' (String.trim part) with
+      | [ "drop"; p ] -> Sim.Fault.drops (float_of_string p)
+      | [ "dup"; p ] -> Sim.Fault.duplicates (float_of_string p)
+      | [ "spike"; p ] ->
+          Sim.Fault.spikes
+            ~margin:(Rat.add model.u Rat.one)
+            (float_of_string p)
+      | _ -> failwith part
+    in
+    match List.map spec (String.split_on_char ',' s) with
+    | specs -> Ok (Sim.Fault.plan specs)
+    | exception _ ->
+        Error
+          (Printf.sprintf
+             "bad fault plan %S (expected e.g. \"drop=0.05,dup=0.01,spike=0.1\" \
+              or \"none\")"
+             s)
+
+let load_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N" ~doc:"Number of independent shard clusters.")
+  in
+  let total_ops_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "ops" ] ~docv:"OPS"
+          ~doc:"Total operations generated across all shards.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "keys" ] ~docv:"K"
+          ~doc:"Keyspace size; keys are routed to shards by key mod shards.")
+  in
+  let arrival_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("poisson", `Poisson); ("bursty", `Bursty); ("diurnal", `Diurnal) ])
+          `Poisson
+      & info [ "arrival" ] ~docv:"PROCESS"
+          ~doc:"Arrival process: $(b,poisson), $(b,bursty) or $(b,diurnal).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt rat_conv Rat.one
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Arrival rate in operations per simulated time unit.")
+  in
+  let period_arg =
+    Arg.(
+      value
+      & opt rat_conv (Rat.of_int 1000)
+      & info [ "period" ] ~docv:"P" ~doc:"Diurnal day length (time units).")
+  in
+  let trough_arg =
+    Arg.(
+      value
+      & opt rat_conv (Rat.make 1 5)
+      & info [ "trough" ] ~docv:"F"
+          ~doc:"Diurnal trough intensity as a fraction of the peak, in [0,1].")
+  in
+  let burst_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "burst" ] ~docv:"B" ~doc:"Burst size for the bursty process.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf key-skew exponent (0 = uniform keys).")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "faults" ] ~docv:"PLAN"
+          ~doc:
+            "Injected fault plan, e.g. \"drop=0.05,dup=0.01,spike=0.1\"; \
+             $(b,none) disables injection.")
+  in
+  let reliable_arg =
+    Arg.(
+      value & flag
+      & info [ "reliable" ]
+          ~doc:
+            "Run each shard over the ack/retransmit channel, judged against \
+             the inflated model — the way to stay certified under message \
+             drops.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit the machine-readable report.")
+  in
+  let run n d u eps x algo seed jobs checker pt shards ops keys arrival rate
+      period trough burst zipf faults_s reliable json =
+    let model = make_model n d u eps in
+    let x = make_x model x in
+    let algorithm =
+      match algo with
+      | `Wtlw -> Core.Runtime.Wtlw { x }
+      | `Centralized -> Core.Runtime.Centralized
+      | `Tob -> Core.Runtime.Tob
+    in
+    let arrival =
+      match arrival with
+      | `Poisson -> Core.Workload.Poisson { rate }
+      | `Bursty -> Core.Workload.Bursty { rate; size = burst }
+      | `Diurnal -> Core.Workload.Diurnal { rate; period; trough }
+    in
+    match parse_fault_plan ~model faults_s with
+    | Error msg -> `Error (false, msg)
+    | Ok faults -> (
+        match
+          Shard.Config.make ~keys ~zipf ~faults ~checker ~seed ~shards ~ops
+            ~arrival ~model ~algorithm ()
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | cfg ->
+            let cfg = if reliable then Shard.Config.reliable cfg else cfg in
+            let t = Shard.run ~jobs cfg pt in
+            if json then Format.printf "%a@." Shard.pp_json t
+            else Format.printf "%a@." Shard.pp t;
+            let all_done =
+              Array.for_all
+                (function Sweep.Pool.Done _ -> true | _ -> false)
+                t.Shard.reports
+            in
+            (* Fault-free runs must certify; with injected faults a
+               flagged run is the expected outcome, so only shard
+               failures (a crashed evaluation, not a failed
+               certification) are fatal. *)
+            if
+              t.Shard.certified
+              || ((not (Sim.Fault.is_none faults)) && all_done)
+            then `Ok ()
+            else `Error (false, "load run failed certification"))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a generated open-loop workload (Poisson/bursty/diurnal \
+          arrivals, Zipf keys) through N independent shard clusters, certify \
+          every key's projection, and print per-shard and aggregate \
+          p50/p99/p999 latency quantiles.  Exits nonzero if a fault-free run \
+          is not certified, or any shard evaluation dies.")
+    Term.(
+      ret
+        (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ algo_arg
+       $ seed_arg $ jobs_arg $ checker_arg $ type_arg $ shards_arg
+       $ total_ops_arg $ keys_arg $ arrival_arg $ rate_arg $ period_arg
+       $ trough_arg $ burst_arg $ zipf_arg $ faults_arg $ reliable_arg
+       $ json_arg))
 
 (* ---------------- check ---------------- *)
 
@@ -1015,6 +1188,7 @@ let main =
     [
       tables_cmd;
       simulate_cmd;
+      load_cmd;
       sweep_cmd;
       check_cmd;
       analyze_cmd;

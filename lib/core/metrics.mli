@@ -56,6 +56,41 @@ module Grouped : sig
       unseen keys). *)
 end
 
+(** Streaming log-bucketed latency histogram for tail quantiles.
+    Values land in geometric buckets (16 per octave, ~4.4% relative
+    width), so state stays a few hundred ints however many million
+    samples stream through.  Count, min, max and mean remain exact
+    rationals; quantiles are bucket upper edges (conservative for the
+    tail), clamped into the observed [min, max] range. *)
+module Hist : sig
+  type t
+
+  type quantiles = { p50 : float; p99 : float; p999 : float }
+
+  val create : unit -> t
+  val add : t -> Rat.t -> unit
+  val count : t -> int
+
+  val merge : t -> t -> unit
+  (** [merge t other] adds [other]'s buckets and exact accumulators
+      into [t]; [other] is left untouched.  Bucket-wise integer
+      addition is commutative and associative, so per-domain histograms
+      merged at a barrier are partition-independent. *)
+
+  val summary : t -> summary option
+  (** Exact count/min/max/mean of everything added; [None] when
+      empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [(0, 1]]; [nan] when empty. *)
+
+  val quantiles : t -> quantiles option
+  (** p50 / p99 / p999; [None] when empty. *)
+
+  val pp_quantiles : Format.formatter -> quantiles -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
 val summarize : Rat.t list -> summary option
 (** [None] on the empty list; the mean is exact (rational). *)
 

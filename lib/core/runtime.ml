@@ -46,6 +46,7 @@ module Make (T : Spec.Data_type.S) = struct
   type workload =
     | Schedule of T.invocation Workload.entry list
     | Closed_loop of { per_proc : int; think : Rat.t; seed : int }
+    | Paced of { next : proc:int -> (Rat.t * T.invocation) option }
 
   (* Description of the reliable channel a run was layered over, when
      [Config.channel] was set: the retransmission config, the inflated
@@ -63,6 +64,7 @@ module Make (T : Spec.Data_type.S) = struct
     linearization : (T.invocation, T.response) Sim.Trace.operation list option;
     by_op : (string * Metrics.summary) list;
     by_kind : (Spec.Op_kind.t * Metrics.summary) list;
+    hist : Metrics.Hist.t;
     messages : int;
     events : int;
     pending : int;
@@ -165,6 +167,23 @@ module Make (T : Spec.Data_type.S) = struct
           Sim.Engine.schedule_invoke engine
             ~at:(Rat.make proc (2 * model.n))
             ~proc (T.gen_invocation rng)
+        done
+    | Paced { next } ->
+        (* Open loop with backpressure: each process holds at most one
+           pending invocation; the next arrival is scheduled when the
+           previous operation responds, clamped forward to the response
+           time if the process fell behind its arrival stream. *)
+        Sim.Engine.set_response_callback engine
+          (fun ~proc ~inv:_ ~resp:_ ~time ->
+            match next ~proc with
+            | None -> ()
+            | Some (at, inv) ->
+                Sim.Engine.schedule_invoke engine ~at:(Rat.max at time) ~proc
+                  inv);
+        for proc = 0 to model.n - 1 do
+          match next ~proc with
+          | None -> ()
+          | Some (at, inv) -> Sim.Engine.schedule_invoke engine ~at ~proc inv
         done);
     Sim.Engine.run ?max_events engine
 
@@ -181,6 +200,8 @@ module Make (T : Spec.Data_type.S) = struct
         (lin, Some label)
       else (None, None)
     in
+    let hist = Metrics.Hist.create () in
+    List.iter (fun op -> Metrics.Hist.add hist (Metrics.latency op)) operations;
     {
       algorithm;
       operations;
@@ -188,6 +209,7 @@ module Make (T : Spec.Data_type.S) = struct
       checked_by;
       by_op = Metrics.by_op ~op_of:T.op_of operations;
       by_kind = Metrics.by_kind ~kind_of operations;
+      hist;
       messages = Sim.Trace.send_count trace;
       events = Sim.Trace.event_count trace;
       pending = Sim.Trace.pending_count trace;
@@ -210,10 +232,12 @@ module Make (T : Spec.Data_type.S) = struct
     let trace = Sim.Engine.trace engine in
     let by_op_acc = Metrics.Grouped.create () in
     let by_kind_acc = Metrics.Grouped.create () in
+    let hist = Metrics.Hist.create () in
     Sim.Trace.on_operation trace (fun op ->
         let l = Metrics.latency op in
         Metrics.Grouped.add by_op_acc (T.op_of op.inv) l;
-        Metrics.Grouped.add by_kind_acc (kind_of op.inv) l);
+        Metrics.Grouped.add by_kind_acc (kind_of op.inv) l;
+        Metrics.Hist.add hist l);
     let truncated =
       match drive ?max_events ~model engine workload with
       | () -> false
@@ -235,6 +259,7 @@ module Make (T : Spec.Data_type.S) = struct
       checked_by;
       by_op = Metrics.Grouped.summaries by_op_acc;
       by_kind = Metrics.Grouped.summaries by_kind_acc;
+      hist;
       messages = Sim.Trace.send_count trace;
       events = Sim.Trace.event_count trace;
       pending = Sim.Trace.pending_count trace;
@@ -336,22 +361,6 @@ module Make (T : Spec.Data_type.S) = struct
     | None -> run_direct cfg
     | Some config -> run_recovered cfg config
 
-  (* Deprecated entry points, kept as thin wrappers over the [Config]
-     API for out-of-tree callers. *)
-
-  let run_legacy ?check ?retain_events ?faults ?max_events
-      ~(model : Sim.Model.t) ~offsets ~delay ~algorithm ~workload () =
-    run
-      (Config.make ?check ?retain_events ?faults ?max_events ~model ~offsets
-         ~delay ~algorithm ~workload ())
-
-  let run_reliable ?check ?retain_events ?faults ?max_events ?config
-      ~(model : Sim.Model.t) ~offsets ~delay ~algorithm ~workload () =
-    run
-      (Config.reliable ?config
-         (Config.make ?check ?retain_events ?faults ?max_events ~model
-            ~offsets ~delay ~algorithm ~workload ()))
-
   (* A run is accepted when every operation completed, the run was not
      truncated, delays and clock skew were admissible, and a
      linearization was found. *)
@@ -372,6 +381,9 @@ module Make (T : Spec.Data_type.S) = struct
       r.delays_admissible r.pending;
     (match r.checked_by with
     | Some engine -> Format.fprintf ppf "checked by: %s@," engine
+    | None -> ());
+    (match Metrics.Hist.quantiles r.hist with
+    | Some q -> Format.fprintf ppf "latency %a@," Metrics.Hist.pp_quantiles q
     | None -> ());
     if not r.skew_admissible then Format.fprintf ppf "skew: inadmissible@,";
     if r.truncated then Format.fprintf ppf "TRUNCATED (step limit)@,";

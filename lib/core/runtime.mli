@@ -4,9 +4,7 @@
     summaries per operation and per class.
 
     The single entry point is {!Make.run}, which takes a
-    {!Make.Config.t} record naming every knob of a run.  The historical
-    [run_legacy]/[run_reliable] optional-argument entry points remain
-    as deprecated thin wrappers. *)
+    {!Make.Config.t} record naming every knob of a run. *)
 
 type algorithm =
   | Wtlw of { x : Rat.t }  (** the paper's Algorithm 1 (repaired timing) *)
@@ -48,6 +46,15 @@ module Make (T : Spec.Data_type.S) : sig
     | Closed_loop of { per_proc : int; think : Rat.t; seed : int }
         (** each process performs [per_proc] random operations, each
             invoked [think] after the previous response *)
+    | Paced of { next : proc:int -> (Rat.t * T.invocation) option }
+        (** streamed open loop with backpressure: [next ~proc] yields
+            process [proc]'s next arrival ([None] = stream exhausted
+            for that process), pulled once at start-up and then on each
+            response; an arrival earlier than the response that pulled
+            it is clamped forward, so the one-pending-operation
+            constraint holds for any arrival rate.  Feed it from a
+            {!Workload.Route} for generator-driven million-op runs that
+            never materialize a schedule. *)
 
   (** Description of the reliable channel a run was layered over
       ([Config.channel]): its retransmission config, the inflated model
@@ -66,6 +73,9 @@ module Make (T : Spec.Data_type.S) : sig
             set and one exists *)
     by_op : (string * Metrics.summary) list;
     by_kind : (Spec.Op_kind.t * Metrics.summary) list;
+    hist : Metrics.Hist.t;
+        (** streaming latency histogram over all completed operations
+            (p50/p99/p999 via {!Metrics.Hist.quantiles}) *)
     messages : int;
     events : int;
     pending : int;  (** invocations that never received a response *)
@@ -151,39 +161,6 @@ module Make (T : Spec.Data_type.S) : sig
       [truncated = true] rather than raising.
       @raise Lin.Checker.Node_budget_exceeded when [max_check_nodes]
       is set and the linearizability search exceeds it. *)
-
-  val run_legacy :
-    ?check:bool ->
-    ?retain_events:bool ->
-    ?faults:Sim.Fault.plan ->
-    ?max_events:int ->
-    model:Sim.Model.t ->
-    offsets:Rat.t array ->
-    delay:Sim.Net.t ->
-    algorithm:algorithm ->
-    workload:workload ->
-    unit ->
-    report
-    [@@deprecated "use run (Config.make ...)"]
-  (** Thin wrapper over {!run} with the pre-[Config] calling
-      convention. *)
-
-  val run_reliable :
-    ?check:bool ->
-    ?retain_events:bool ->
-    ?faults:Sim.Fault.plan ->
-    ?max_events:int ->
-    ?config:Reliable.config ->
-    model:Sim.Model.t ->
-    offsets:Rat.t array ->
-    delay:Sim.Net.t ->
-    algorithm:algorithm ->
-    workload:workload ->
-    unit ->
-    report
-    [@@deprecated "use run (Config.reliable (Config.make ...))"]
-  (** Thin wrapper over {!run} with [Config.channel] set ([config]
-      defaults to [Reliable.default_config model]). *)
 
   val report_of_trace :
     ?skew_admissible:bool ->

@@ -1,4 +1,13 @@
-(** Workload schedules: which process invokes what, and when.
+(** Workload schedules and open-loop load generation.
+
+    Two layers live here.  The {e schedule} layer (bottom of the file)
+    is the original fixed-script API: explicit [entry] lists for small,
+    hand-shaped runs.  The {e generator} layer ({!arrival}, {!Gen},
+    {!Route}) produces production-shaped traffic: open-loop arrival
+    processes (Poisson, bursty, diurnal) over exact [Rat] time,
+    Zipf-skewed object keys, and per-type invocation mixes — all
+    seed-deterministic and streaming, so a million-operation schedule
+    is pulled one item at a time and never materializes as a list.
 
     The §2.2 model allows at most one pending operation per process, so
     open-loop schedules must space invocations at a process further
@@ -7,11 +16,239 @@
     eps] is always safe).  Closed-loop workloads (invoke the next
     operation when the previous one responds) are driven by
     {!Runtime} via the engine's response callback and need no spacing
-    assumption. *)
+    assumption; generator-driven runs use {!Route}, whose consumer
+    clamps each arrival to the previous response ([Runtime]'s [Paced]
+    workload), so overload degrades into backpressure instead of a
+    constraint violation. *)
 
 type 'inv entry = { proc : int; at : Rat.t; inv : 'inv }
 
 let entry ~proc ~at inv = { proc; at; inv }
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes.                                                  *)
+
+(* Open-loop arrival processes over [Rat] time.  Rates are operations
+   per simulated time unit.  [Bursty] emits geometric bursts of [size]
+   simultaneous arrivals whose starts come at [rate/size], so the
+   long-run operation rate stays [rate].  [Diurnal] modulates a Poisson
+   process by a sinusoidal day curve: instantaneous intensity swings
+   between [trough * rate] and [rate] with the given [period]. *)
+type arrival =
+  | Poisson of { rate : Rat.t }
+  | Bursty of { rate : Rat.t; size : int }
+  | Diurnal of { rate : Rat.t; period : Rat.t; trough : Rat.t }
+
+let arrival_label = function
+  | Poisson { rate } -> Printf.sprintf "poisson(rate=%s)" (Rat.to_string rate)
+  | Bursty { rate; size } ->
+      Printf.sprintf "bursty(rate=%s,size=%d)" (Rat.to_string rate) size
+  | Diurnal { rate; period; trough } ->
+      Printf.sprintf "diurnal(rate=%s,period=%s,trough=%s)" (Rat.to_string rate)
+        (Rat.to_string period) (Rat.to_string trough)
+
+let validate_arrival = function
+  | Poisson { rate } ->
+      if Rat.sign rate <= 0 then invalid_arg "Workload: arrival rate <= 0"
+  | Bursty { rate; size } ->
+      if Rat.sign rate <= 0 then invalid_arg "Workload: arrival rate <= 0";
+      if size < 1 then invalid_arg "Workload: burst size < 1"
+  | Diurnal { rate; period; trough } ->
+      if Rat.sign rate <= 0 then invalid_arg "Workload: arrival rate <= 0";
+      if Rat.sign period <= 0 then invalid_arg "Workload: diurnal period <= 0";
+      if not (Rat.in_range ~lo:Rat.zero ~hi:Rat.one trough) then
+        invalid_arg "Workload: diurnal trough outside [0, 1]"
+
+(* A generated arrival: when, which object key, which invocation. *)
+type 'inv keyed = { at : Rat.t; key : int; inv : 'inv }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming generator.                                                *)
+
+module Gen = struct
+  type 'inv t = {
+    rng : Random.State.t;
+    arrival : arrival;
+    cum : float array;  (* cumulative Zipf key weights *)
+    ops : int;
+    invocation : Random.State.t -> key:int -> seq:int -> 'inv;
+    mutable emitted : int;
+    mutable now : Rat.t;
+    mutable burst_left : int;
+  }
+
+  (* Sampled durations are rounded to this denominator so generated
+     times are exact small rationals: simulation arithmetic stays on
+     the unboxed [Rat] fast path and admissibility checks are free of
+     float noise. *)
+  let quantum = 1024
+
+  let zipf_cum ~keys ~s =
+    let w = Array.init keys (fun k -> 1.0 /. (float_of_int (k + 1) ** s)) in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let acc = ref 0.0 in
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+
+  let create ~arrival ?(zipf = 0.0) ~keys ~ops ~seed ~invocation () =
+    validate_arrival arrival;
+    if keys < 1 then invalid_arg "Workload.Gen.create: keys < 1";
+    if ops < 0 then invalid_arg "Workload.Gen.create: ops < 0";
+    if zipf < 0.0 then invalid_arg "Workload.Gen.create: zipf < 0";
+    {
+      rng = Random.State.make [| 0x6c6f6164; seed |];
+      arrival;
+      cum = zipf_cum ~keys ~s:zipf;
+      ops;
+      invocation;
+      emitted = 0;
+      now = Rat.zero;
+      burst_left = 0;
+    }
+
+  (* Positive quantized duration (at least one quantum, capping the
+     effective rate at [quantum] per time unit). *)
+  let quantize f =
+    let n = int_of_float (Float.round (f *. float_of_int quantum)) in
+    Rat.make (Stdlib.max 1 n) quantum
+
+  (* Inverse-CDF exponential with u drawn uniformly from a fixed
+     million-point lattice: seed-deterministic and bounded away from
+     log 0. *)
+  let exp_gap rng ~mean =
+    let u = (float_of_int (Random.State.int rng 1_000_000) +. 1.0) /. 1_000_001. in
+    -.log u *. mean
+
+  let two_pi = 8.0 *. atan 1.0
+
+  let gap t =
+    match t.arrival with
+    | Poisson { rate } -> quantize (exp_gap t.rng ~mean:(1.0 /. Rat.to_float rate))
+    | Bursty { rate; size } ->
+        if t.burst_left > 0 then begin
+          t.burst_left <- t.burst_left - 1;
+          Rat.zero
+        end
+        else begin
+          t.burst_left <- size - 1;
+          quantize
+            (exp_gap t.rng ~mean:(float_of_int size /. Rat.to_float rate))
+        end
+    | Diurnal { rate; period; trough } ->
+        (* Thin a base Poisson stream by the day curve: the sampled gap
+           stretches when the instantaneous intensity is low. *)
+        let base = exp_gap t.rng ~mean:(1.0 /. Rat.to_float rate) in
+        let phase = two_pi *. Rat.to_float t.now /. Rat.to_float period in
+        let tr = Rat.to_float trough in
+        let intensity = tr +. ((1.0 -. tr) *. (1.0 +. sin phase) /. 2.0) in
+        quantize (base /. intensity)
+
+  let draw_key t =
+    let n = Array.length t.cum in
+    if n = 1 then 0
+    else begin
+      let u = Random.State.float t.rng 1.0 in
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if t.cum.(mid) >= u then hi := mid else lo := mid + 1
+      done;
+      !lo
+    end
+
+  let next t =
+    if t.emitted >= t.ops then None
+    else begin
+      t.now <- Rat.add t.now (gap t);
+      let key = draw_key t in
+      let inv = t.invocation t.rng ~key ~seq:t.emitted in
+      t.emitted <- t.emitted + 1;
+      Some { at = t.now; key; inv }
+    end
+
+  let emitted t = t.emitted
+  let remaining t = t.ops - t.emitted
+end
+
+(* ------------------------------------------------------------------ *)
+(* Routing a stream onto processes.                                    *)
+
+module Route = struct
+  type 'inv t = {
+    gen : 'inv Gen.t;
+    keep : int -> bool;
+    procs : int;
+    buffers : (Rat.t * 'inv keyed) Queue.t array;
+    last : Rat.t array;  (* last assigned arrival per process *)
+    min_gap : Rat.t;
+    mutable next_proc : int;
+  }
+
+  let create ?(min_gap = Rat.zero) ~procs ~keep gen =
+    if procs < 1 then invalid_arg "Workload.Route.create: procs < 1";
+    if Rat.sign min_gap < 0 then
+      invalid_arg "Workload.Route.create: min_gap < 0";
+    {
+      gen;
+      keep;
+      procs;
+      buffers = Array.init procs (fun _ -> Queue.create ());
+      (* Seeded so the first clamp is a no-op. *)
+      last = Array.make procs (Rat.neg min_gap);
+      min_gap;
+      next_proc = 0;
+    }
+
+  (* Pull the next kept arrival assigned to [proc].  Kept arrivals are
+     dealt round-robin across processes as they are generated; items
+     for other processes are buffered until their process pulls, so
+     buffers stay O(procs) deep and nothing is materialized. *)
+  let next t ~proc =
+    if proc < 0 || proc >= t.procs then invalid_arg "Workload.Route.next";
+    let rec refill () =
+      if not (Queue.is_empty t.buffers.(proc)) then
+        Some (Queue.pop t.buffers.(proc))
+      else
+        match Gen.next t.gen with
+        | None -> None
+        | Some item ->
+            if t.keep item.key then begin
+              let p = t.next_proc in
+              t.next_proc <- (p + 1) mod t.procs;
+              let at = Rat.max item.at (Rat.add t.last.(p) t.min_gap) in
+              t.last.(p) <- at;
+              Queue.add (at, item) t.buffers.(p)
+            end;
+            refill ()
+    in
+    refill ()
+end
+
+(* Drain a generator into an explicit schedule, assigning arrivals
+   round-robin and clamping per-process invocation times [min_gap]
+   apart (pass the model's [2d + eps] for an always-safe open loop).
+   Same assignment policy as [Route] with every key kept. *)
+let materialize ~procs ~min_gap gen =
+  if procs < 1 then invalid_arg "Workload.materialize: procs < 1";
+  let last = Array.make procs (Rat.neg min_gap) in
+  let next_proc = ref 0 in
+  let rec loop acc =
+    match Gen.next gen with
+    | None -> List.rev acc
+    | Some item ->
+        let proc = !next_proc in
+        next_proc := (proc + 1) mod procs;
+        let at = Rat.max item.at (Rat.add last.(proc) min_gap) in
+        last.(proc) <- at;
+        loop ({ proc; at; inv = item } :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Fixed schedules.                                                    *)
 
 (* Every process invokes [per_proc] operations, the k-th at
    [start + k*spacing + proc*stagger]. *)
@@ -55,5 +292,13 @@ let concurrent_bursts ~n ~rounds ~spacing ?(start = Rat.zero) ~gen () =
              in
              { proc; at; inv = gen ~proc ~k })))
 
+(* Time ties break on process id — never on list position — so sorted
+   schedules are invariant to the order a generator emitted entries
+   in. *)
 let sort_schedule entries =
-  List.stable_sort (fun a b -> Rat.compare a.at b.at) entries
+  List.stable_sort
+    (fun (a : _ entry) (b : _ entry) ->
+      match Rat.compare a.at b.at with
+      | 0 -> Int.compare a.proc b.proc
+      | c -> c)
+    entries

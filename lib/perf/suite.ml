@@ -51,6 +51,27 @@ let queue_events ~per_proc () =
   Sim.Engine.run ~max_events:10_000_000 engine;
   Sim.Trace.event_count (Sim.Engine.trace engine)
 
+(* The [repro load] pipeline at bench scale: tagged diurnal generator
+   over a Zipf keyspace, sharded clusters, per-key monitor
+   certification, merged histograms — run inline (jobs = 1) so the
+   allocation profile has no domain-spawn noise. *)
+let load_events ~ops () =
+  let rat = Rat.make in
+  let model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 12 1) ~u:(rat 4 1) in
+  let module Sh = Shard.Make (Spec.Fifo_queue) in
+  let cfg =
+    Shard.Config.make ~keys:32 ~zipf:0.8 ~seed:9 ~shards:4 ~ops
+      ~arrival:
+        (Core.Workload.Diurnal
+           { rate = rat 1 4; period = rat 400 1; trough = rat 1 10 })
+      ~model
+      ~algorithm:(Core.Runtime.Wtlw { x = rat 3 1 })
+      ()
+  in
+  let t = Sh.run ~jobs:1 cfg in
+  if not t.certified then failwith "load bench section: run not certified";
+  t.events
+
 let sections =
   [
     {
@@ -63,6 +84,13 @@ let sections =
       description =
         "8000-op closed-loop FIFO queue, 4 processes, optimal-epsilon model";
       run = queue_events ~per_proc:2000;
+    };
+    {
+      name = "load-shard-4k";
+      description =
+        "4000-op diurnal Zipf load over 4 FIFO-queue shards, certified per \
+         key";
+      run = load_events ~ops:4_000;
     };
   ]
 

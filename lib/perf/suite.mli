@@ -17,7 +17,9 @@ val sections : section list
     fractions simulation time is made of.  ["engine-queue-8k"]: the
     8000-operation closed-loop FIFO-queue workload (4 processes,
     optimal-epsilon model) — the same shape as the streaming bench in
-    [bench/main.ml]. *)
+    [bench/main.ml].  ["load-shard-4k"]: the [repro load] pipeline at
+    bench scale — a 4000-operation diurnal Zipf stream over 4
+    FIFO-queue shards, certified per key, run inline on one domain. *)
 
 val find : string -> section option
 

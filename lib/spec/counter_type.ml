@@ -50,5 +50,9 @@ let gen_invocation rng =
   | 1 -> Read
   | _ -> Fetch_and_increment
 
+(* Counter increments commute, so ambiguity is not a concern and there
+   is no monitor to satisfy; the tag is irrelevant. *)
+let gen_tagged rng ~tag:_ = gen_invocation rng
+
 (* No specialized monitor for this shape: histories go to Wing-Gong. *)
 let monitor = None

@@ -60,6 +60,12 @@ module type S = sig
   val gen_invocation : Random.State.t -> invocation
   (** Random invocation, for workloads and property tests. *)
 
+  val gen_tagged : Random.State.t -> tag:int -> invocation
+  (** Like {!gen_invocation}, but any value the invocation introduces
+      into the object is derived injectively from [tag], so a stream
+      drawn with distinct tags forms an unambiguous history that the
+      per-type monitors can certify without Wing-Gong fallback. *)
+
   val monitor : (invocation, response) Adt_view.viewer option
   (** The per-type linearizability monitor this specification opts
       into, if its shape matches one of the {!Adt_view.kind}s.  [None]

@@ -51,6 +51,19 @@ module type S = sig
   val gen_invocation : Random.State.t -> invocation
   (** Random invocation, for workloads and property tests. *)
 
+  val gen_tagged : Random.State.t -> tag:int -> invocation
+  (** Random invocation with the same operation mix as
+      {!gen_invocation}, except that any value the invocation
+      introduces into the object (a write, an enqueue, a push, ...) is
+      derived injectively from [tag].  A stream generated with
+      distinct tags is an {e unambiguous} history — no value enters
+      the object twice — which is the precondition for the log-linear
+      per-type monitors; ambiguous histories fall back to the
+      exponential Wing-Gong search.  Million-operation workloads
+      ({!Core.Workload.Gen}) pass the stream position as the tag.
+      Types whose monitors do not exist or whose semantics need
+      colliding values (e.g. the tree fixture) may ignore [tag]. *)
+
   val monitor : (invocation, response) Adt_view.viewer option
   (** The per-type linearizability monitor this specification opts
       into, if its shape matches one of the {!Adt_view.kind}s.  [None]

@@ -75,6 +75,12 @@ let gen_invocation rng =
   | 2 -> Dequeue
   | _ -> Peek
 
+let gen_tagged rng ~tag =
+  match Random.State.int rng 4 with
+  | 0 | 1 -> Enqueue (tag + 1)
+  | 2 -> Dequeue
+  | _ -> Peek
+
 let monitor =
   Some
     {

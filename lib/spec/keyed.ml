@@ -1,0 +1,100 @@
+(** Indexed family of one data type: {!Product} generalized from a
+    fixed pair to arbitrarily many independent instances addressed by
+    an integer key.
+
+    Linearizability is {e local} (paper §2.3): a run over the family is
+    linearizable iff its restriction to each key is.  The family type
+    lets the single-object machinery — Algorithm 1, the baselines, the
+    runtime — serve a whole keyspace unchanged, while a certifier may
+    exploit locality in the other direction and check each key's
+    projection independently with the per-type monitors (that is what
+    the sharded runtime in [lib/shard] does; like {!Product}, the
+    fused family itself carries no single-shape monitor).
+
+    States are canonical up to [equal_state]: the state is a
+    key-sorted association list, and [equal_state]/[show_state]
+    disregard keys that are still in (or back at) their initial state
+    — so two family states are [equal_state] iff they are
+    observationally indistinguishable, provided [T]'s states are
+    themselves canonical.  The filtering happens at comparison time,
+    not on every [apply]: probing [T.equal_state s T.initial] per
+    update would cost O(|sub-state|) on types whose equality
+    normalizes (the batched queue), turning a long single-key run
+    quadratic. *)
+
+module Make (T : Data_type.S) = struct
+  type state = (int * T.state) list
+  type invocation = { key : int; inv : T.invocation }
+  type response = T.response
+
+  let name = "keyed-" ^ T.name
+  let initial = []
+
+  (* Replace [key]'s sub-state, keeping the list key-sorted.  Keys
+     that have returned to their initial sub-state stay in the list
+     (filtered out only by [strip] below, at comparison time). *)
+  let rec update key s' = function
+    | [] -> [ (key, s') ]
+    | ((k, _) as entry) :: rest ->
+        if k < key then entry :: update key s' rest
+        else if k = key then (key, s') :: rest
+        else (key, s') :: entry :: rest
+
+  let apply st { key; inv } =
+    let s = match List.assoc_opt key st with Some s -> s | None -> T.initial in
+    let s', resp = T.apply s inv in
+    (update key s' st, resp)
+
+  (* Operation names are the underlying type's, untagged: the family
+     has the same operation set (and classification) as its element
+     type, so latency grouping and Algorithm 1's AOP/MOP/OOP dispatch
+     aggregate across keys. *)
+  let op_of { inv; _ } = T.op_of inv
+  let operations = T.operations
+
+  (* Canonical view: drop keys indistinguishable from untouched. *)
+  let strip st =
+    List.filter (fun (_, s) -> not (T.equal_state s T.initial)) st
+
+  let equal_state st1 st2 =
+    let st1 = strip st1 and st2 = strip st2 in
+    List.length st1 = List.length st2
+    && List.for_all2
+         (fun (k1, s1) (k2, s2) -> k1 = k2 && T.equal_state s1 s2)
+         st1 st2
+
+  let equal_invocation i1 i2 =
+    i1.key = i2.key && T.equal_invocation i1.inv i2.inv
+
+  let equal_response = T.equal_response
+
+  let show_state st =
+    "{"
+    ^ String.concat "; "
+        (List.map
+           (fun (k, s) -> Printf.sprintf "%d:%s" k (T.show_state s))
+           (strip st))
+    ^ "}"
+
+  let pp_state ppf st = Format.pp_print_string ppf (show_state st)
+
+  let pp_invocation ppf { key; inv } =
+    Format.fprintf ppf "k%d:%a" key T.pp_invocation inv
+
+  let pp_response = T.pp_response
+
+  (* Two keys suffice to exhibit the element type's algebraic
+     properties plus key independence. *)
+  let sample_invocations op =
+    List.concat_map
+      (fun inv -> [ { key = 0; inv }; { key = 1; inv } ])
+      (T.sample_invocations op)
+
+  let gen_invocation rng =
+    { key = Random.State.int rng 4; inv = T.gen_invocation rng }
+
+  let gen_tagged rng ~tag =
+    { key = Random.State.int rng 4; inv = T.gen_tagged rng ~tag }
+
+  let monitor = None
+end

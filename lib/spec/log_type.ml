@@ -66,5 +66,12 @@ let gen_invocation rng =
   | 3 -> Length
   | _ -> Trim
 
+let gen_tagged rng ~tag =
+  match Random.State.int rng 5 with
+  | 0 | 1 -> Append (tag + 1)
+  | 2 -> Last
+  | 3 -> Length
+  | _ -> Trim
+
 (* No specialized monitor for this shape: histories go to Wing-Gong. *)
 let monitor = None

@@ -67,6 +67,12 @@ let gen_invocation rng =
   | 2 -> Extract_max
   | _ -> Find_max
 
+let gen_tagged rng ~tag =
+  match Random.State.int rng 4 with
+  | 0 | 1 -> Insert (tag + 1)
+  | 2 -> Extract_max
+  | _ -> Find_max
+
 let monitor =
   Some
     {

@@ -84,6 +84,10 @@ module Make (A : Data_type.S) (B : Data_type.S) = struct
     if Random.State.bool rng then Left (A.gen_invocation rng)
     else Right (B.gen_invocation rng)
 
+  let gen_tagged rng ~tag =
+    if Random.State.bool rng then Left (A.gen_tagged rng ~tag)
+    else Right (B.gen_tagged rng ~tag)
+
   (* A product is no single shape; per-side monitoring would need the
      locality projection, which the monitors do not see.  Wing-Gong. *)
   let monitor = None

@@ -37,6 +37,11 @@ let sample_invocations = function
 let gen_invocation rng =
   if Random.State.bool rng then Read else Write (Random.State.int rng 10)
 
+(* [tag + 1]: value 0 is the initial register content, and a history
+   that both reads and writes 0 is ambiguous to the monitor. *)
+let gen_tagged rng ~tag =
+  if Random.State.bool rng then Read else Write (tag + 1)
+
 let monitor =
   Some
     {

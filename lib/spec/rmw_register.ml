@@ -72,5 +72,12 @@ let gen_invocation rng =
   | 2 -> Rmw (Fetch_and_add (1 + Random.State.int rng 3))
   | _ -> Rmw (Fetch_and_set (Random.State.int rng 10))
 
+let gen_tagged rng ~tag =
+  match Random.State.int rng 4 with
+  | 0 -> Read
+  | 1 -> Write (tag + 1)
+  | 2 -> Rmw (Fetch_and_add (1 + Random.State.int rng 3))
+  | _ -> Rmw (Fetch_and_set (tag + 1))
+
 (* No specialized monitor for this shape: histories go to Wing-Gong. *)
 let monitor = None

@@ -69,6 +69,15 @@ let gen_invocation rng =
   | 2 -> Contains (Random.State.int rng 10)
   | _ -> Extract_min
 
+(* No [Extract_min] (outside the monitor's vocabulary) and at most one
+   add and one remove per value; membership tests range over all tags
+   issued so far, so they do hit live values. *)
+let gen_tagged rng ~tag =
+  match Random.State.int rng 4 with
+  | 0 | 1 -> Add (tag + 1)
+  | 2 -> Remove (tag + 1)
+  | _ -> Contains (1 + Random.State.int rng (tag + 1))
+
 (* [Extract_min] is outside the set monitor's vocabulary (it couples
    the values); a history containing one falls back to Wing-Gong. *)
 let monitor =

@@ -55,6 +55,12 @@ let gen_invocation rng =
   | 2 -> Pop
   | _ -> Peek
 
+let gen_tagged rng ~tag =
+  match Random.State.int rng 4 with
+  | 0 | 1 -> Push (tag + 1)
+  | 2 -> Pop
+  | _ -> Peek
+
 let monitor =
   Some
     {

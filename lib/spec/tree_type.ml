@@ -134,5 +134,10 @@ let gen_invocation rng =
   | 3 -> Depth (Random.State.int rng 7)
   | _ -> Last_removed
 
+(* The tree's semantics live in key collisions (insert-over-insert,
+   delete of a present key), so unique tags would empty the type of
+   interest; there is no tree monitor to satisfy. *)
+let gen_tagged rng ~tag:_ = gen_invocation rng
+
 (* No specialized monitor for this shape: histories go to Wing-Gong. *)
 let monitor = None

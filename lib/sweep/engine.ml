@@ -172,6 +172,7 @@ type verdict = {
   truncated : bool;
   retransmits : int;
   latency : Metrics.summary option;
+  hist : Metrics.Hist.t;  (** streaming latency histogram of the run *)
   by_op : (string * Metrics.summary) list;
   by_kind : (Spec.Op_kind.t * Metrics.summary) list;
   bounds : (Spec.Op_kind.t * Rat.t * Rat.t) list;
@@ -251,6 +252,7 @@ let eval grid (c : cell) : (verdict, string) result =
             | None -> 0
             | Some ch -> ch.stats.Core.Reliable.retransmits);
           latency = Metrics.Acc.summary lat;
+          hist = report.hist;
           by_op = report.by_op;
           by_kind = report.by_kind;
           bounds;
@@ -262,6 +264,7 @@ let eval grid (c : cell) : (verdict, string) result =
    merged totals are partition-independent. *)
 type local = {
   lat : Metrics.Acc.t;
+  hist : Metrics.Hist.t;
   kinds : Spec.Op_kind.t Metrics.Grouped.t;
 }
 
@@ -270,6 +273,7 @@ type t = {
   cells : cell array;
   results : verdict Pool.outcome array;
   total : Metrics.summary option;
+  hist : Metrics.Hist.t;  (** merged latency histogram of every cell *)
   by_kind : (Spec.Op_kind.t * Metrics.summary) list;  (** sorted by class *)
   jobs : int;
   wall_s : float;
@@ -281,13 +285,18 @@ let run ?(jobs = 1) ?(fail_fast = false) grid =
   let results, locals =
     Pool.map ~jobs ~fail_fast ~n:(Array.length cells)
       ~init:(fun () ->
-        { lat = Metrics.Acc.create (); kinds = Metrics.Grouped.create () })
+        {
+          lat = Metrics.Acc.create ();
+          hist = Metrics.Hist.create ();
+          kinds = Metrics.Grouped.create ();
+        })
       ~f:(fun local i ->
         match eval grid cells.(i) with
         | Ok v ->
             (match v.latency with
             | Some s -> Metrics.Acc.absorb local.lat s
             | None -> ());
+            Metrics.Hist.merge local.hist v.hist;
             List.iter
               (fun (k, s) -> Metrics.Grouped.absorb local.kinds k s)
               v.by_kind;
@@ -296,10 +305,12 @@ let run ?(jobs = 1) ?(fail_fast = false) grid =
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let lat = Metrics.Acc.create () in
+  let hist = Metrics.Hist.create () in
   let kinds = Metrics.Grouped.create () in
   List.iter
     (fun l ->
       Metrics.Acc.merge lat l.lat;
+      Metrics.Hist.merge hist l.hist;
       Metrics.Grouped.merge kinds l.kinds)
     locals;
   let by_kind =
@@ -310,7 +321,16 @@ let run ?(jobs = 1) ?(fail_fast = false) grid =
         compare (Spec.Op_kind.to_string a) (Spec.Op_kind.to_string b))
       (Metrics.Grouped.summaries kinds)
   in
-  { grid; cells; results; total = Metrics.Acc.summary lat; by_kind; jobs; wall_s }
+  {
+    grid;
+    cells;
+    results;
+    total = Metrics.Acc.summary lat;
+    hist;
+    by_kind;
+    jobs;
+    wall_s;
+  }
 
 let certified t =
   Array.length t.results > 0
@@ -336,6 +356,9 @@ let summary_str (s : Metrics.summary) =
   Printf.sprintf "count=%d min=%s max=%s mean=%s" s.count (Rat.to_string s.min)
     (Rat.to_string s.max) (Rat.to_string s.mean)
 
+let quantiles_str (q : Metrics.Hist.quantiles) =
+  Printf.sprintf "p50=%.6g p99=%.6g p999=%.6g" q.p50 q.p99 q.p999
+
 let fingerprint t =
   let buf = Buffer.create 4096 in
   Array.iteri
@@ -360,6 +383,9 @@ let fingerprint t =
   (match t.total with
   | None -> ()
   | Some s -> Buffer.add_string buf ("total: " ^ summary_str s ^ "\n"));
+  (match Metrics.Hist.quantiles t.hist with
+  | None -> ()
+  | Some q -> Buffer.add_string buf ("tail: " ^ quantiles_str q ^ "\n"));
   List.iter
     (fun (k, s) ->
       Buffer.add_string buf
@@ -390,6 +416,9 @@ let pp ppf t =
   | Some s ->
       Format.fprintf ppf "latency over %d operations: %a@," s.count
         Metrics.pp_summary s);
+  (match Metrics.Hist.quantiles t.hist with
+  | None -> ()
+  | Some q -> Format.fprintf ppf "tail: %a@," Metrics.Hist.pp_quantiles q);
   Format.fprintf ppf
     "%d cells: %d done (%d certified), %d failed, %d skipped; jobs=%d \
      wall=%.2fs@]"
@@ -411,6 +440,10 @@ let pp_json_summary ppf (s : Metrics.summary) =
     "{\"count\":%d,\"min\":\"%s\",\"max\":\"%s\",\"mean\":\"%s\"}" s.count
     (Rat.to_string s.min) (Rat.to_string s.max) (Rat.to_string s.mean)
 
+let pp_json_quantiles ppf (q : Metrics.Hist.quantiles) =
+  Format.fprintf ppf "{\"p50\":%.6g,\"p99\":%.6g,\"p999\":%.6g}" q.p50 q.p99
+    q.p999
+
 let pp_json_verdict ppf (v : verdict) =
   Format.fprintf ppf
     "{\"status\":\"done\",\"seed\":%d,\"ok\":%b,\"bound_ok\":%b,\"certified\":%b,\"operations\":%d,\"messages\":%d,\"events\":%d,\"pending\":%d,\"truncated\":%b,\"retransmits\":%d"
@@ -419,6 +452,9 @@ let pp_json_verdict ppf (v : verdict) =
   (match v.latency with
   | None -> ()
   | Some s -> Format.fprintf ppf ",\"latency\":%a" pp_json_summary s);
+  (match Metrics.Hist.quantiles v.hist with
+  | None -> ()
+  | Some q -> Format.fprintf ppf ",\"quantiles\":%a" pp_json_quantiles q);
   Format.fprintf ppf ",\"bounds\":[";
   List.iteri
     (fun i (k, worst, ub) ->
@@ -449,6 +485,9 @@ let pp_json ppf t =
   (match t.total with
   | None -> ()
   | Some s -> Format.fprintf ppf "\"latency\":%a," pp_json_summary s);
+  (match Metrics.Hist.quantiles t.hist with
+  | None -> ()
+  | Some q -> Format.fprintf ppf "\"quantiles\":%a," pp_json_quantiles q);
   Format.fprintf ppf "\"by_kind\":[";
   List.iteri
     (fun i (k, s) ->

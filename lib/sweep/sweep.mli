@@ -111,6 +111,8 @@ type verdict = {
   truncated : bool;
   retransmits : int;  (** reliable-channel retransmissions (0 for raw) *)
   latency : Core.Metrics.summary option;  (** all operations pooled *)
+  hist : Core.Metrics.Hist.t;
+      (** streaming latency histogram of the run (p50/p99/p999) *)
   by_op : (string * Core.Metrics.summary) list;
       (** per-operation-name latency summaries (the table rows) *)
   by_kind : (Spec.Op_kind.t * Core.Metrics.summary) list;
@@ -132,6 +134,10 @@ type t = {
   results : verdict Pool.outcome array;  (** positional, same order *)
   total : Core.Metrics.summary option;
       (** merged latency summary over every completed cell *)
+  hist : Core.Metrics.Hist.t;
+      (** merged latency histogram over every completed cell; bucket
+          addition is exact, so aggregate quantiles are
+          partition-independent *)
   by_kind : (Spec.Op_kind.t * Core.Metrics.summary) list;
       (** merged per-class summaries, sorted by class name *)
   jobs : int;

@@ -119,6 +119,8 @@ module Broken = struct
   let gen_invocation rng =
     match Random.State.int rng 3 with 0 -> Bump | 1 -> Noise | _ -> Probe
 
+  let gen_tagged rng ~tag:_ = gen_invocation rng
+
   let monitor = None
 end
 

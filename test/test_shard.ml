@@ -1,0 +1,149 @@
+(* Tests for the sharded composite runtime (lib/shard).
+
+   The load-bearing properties: a sharded run certifies exactly when
+   the equivalent single-cluster run over the fused object does
+   (linearizability locality, paper §2.3); shards partition the
+   generated stream without losing or duplicating arrivals; and the
+   whole report is deterministic in everything but wall-clock, so the
+   fingerprint is byte-identical for every pool size. *)
+
+module ShR = Shard.Make (Spec.Register)
+module ShQ = Shard.Make (Spec.Fifo_queue)
+
+(* The 2-key / 2-shard register keyspace, fused into one ordinary
+   product object: key 0 = Left, key 1 = Right. *)
+module P = Spec.Product.Make (Spec.Register) (Spec.Register)
+module RT = Core.Runtime.Make (P)
+
+let rat = Rat.make
+let model = Sim.Model.make_optimal_eps ~n:4 ~d:(rat 10 1) ~u:(rat 4 1)
+let algorithm = Core.Runtime.Wtlw { x = rat 2 1 }
+let arrival = Core.Workload.Poisson { rate = rat 1 4 }
+
+let shard_cfg ~shards ~ops ~keys ?(zipf = 0.0) ~seed () =
+  Shard.Config.make ~keys ~zipf ~seed ~shards ~ops ~arrival ~model ~algorithm
+    ()
+
+let done_reports (t : Shard.t) =
+  Array.to_list t.reports
+  |> List.filter_map (function
+       | Sweep.Pool.Done (r : Shard.shard_report) -> Some r
+       | Sweep.Pool.Failed _ | Sweep.Pool.Skipped -> None)
+
+(* Re-derive the exact stream a sharded run partitions (same
+   construction as [Shard.Make]: one tagged generator from the config
+   seed) and fuse it into a product schedule for a single cluster. *)
+let product_schedule ~ops ~seed =
+  let gen =
+    Core.Workload.Gen.create ~arrival ~keys:2 ~ops ~seed
+      ~invocation:(fun rng ~key:_ ~seq -> Spec.Register.gen_tagged rng ~tag:seq)
+      ()
+  in
+  let min_gap = Rat.add (Rat.mul_int model.d 2) model.eps in
+  List.map
+    (fun (e : Spec.Register.invocation Core.Workload.keyed Core.Workload.entry) ->
+      let side = if e.inv.key = 0 then P.Left e.inv.inv else P.Right e.inv.inv in
+      Core.Workload.entry ~proc:e.proc ~at:e.at side)
+    (Core.Workload.materialize ~procs:model.n ~min_gap gen)
+
+let test_shard_vs_product_equivalence () =
+  let ops = 100 and seed = 5 in
+  let sharded = ShR.run (shard_cfg ~shards:2 ~ops ~keys:2 ~seed ()) in
+  Alcotest.(check bool) "sharded run certified" true sharded.certified;
+  let reports = done_reports sharded in
+  Alcotest.(check int) "both shards reported" 2 (List.length reports);
+  let product =
+    RT.run
+      (RT.Config.make ~model
+         ~offsets:(Array.make model.n Rat.zero)
+         ~delay:(Sim.Net.random_model ~seed model)
+         ~algorithm
+         ~workload:(RT.Schedule (product_schedule ~ops ~seed))
+         ())
+  in
+  (* Same certification verdict: the fused single-cluster run passes
+     exactly as the per-key sharded certification does. *)
+  Alcotest.(check bool) "product run ok" true (RT.ok product);
+  Alcotest.(check bool) "product linearizable" true
+    (product.linearization <> None);
+  (* Same per-side operation counts: shard s served exactly the
+     arrivals the product run tagged for side s. *)
+  let count side =
+    List.length
+      (List.filter
+         (fun (op : (P.invocation, P.response) Sim.Trace.operation) ->
+           match (op.inv, side) with
+           | P.Left _, `L | P.Right _, `R -> true
+           | _ -> false)
+         product.operations)
+  in
+  List.iter
+    (fun (r : Shard.shard_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d certified" r.shard)
+        true r.certified;
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d op count matches product side" r.shard)
+        (count (if r.shard = 0 then `L else `R))
+        r.operations)
+    reports;
+  Alcotest.(check int) "no operation lost across the partition" ops
+    (count `L + count `R)
+
+let test_fingerprint_independent_of_jobs () =
+  let cfg = shard_cfg ~shards:4 ~ops:400 ~keys:16 ~zipf:0.9 ~seed:7 () in
+  let fp jobs = Shard.fingerprint (ShQ.run ~jobs cfg) in
+  let f1 = fp 1 in
+  Alcotest.(check bool) "fingerprint nonempty" true (String.length f1 > 0);
+  Alcotest.(check string) "jobs=2 byte-identical" f1 (fp 2);
+  Alcotest.(check string) "jobs=3 byte-identical" f1 (fp 3)
+
+let test_multi_key_run_certified_and_conserved () =
+  let ops = 600 in
+  let t = ShQ.run ~jobs:2 (shard_cfg ~shards:3 ~ops ~keys:12 ~zipf:0.7 ~seed:3 ()) in
+  Alcotest.(check bool) "certified" true t.certified;
+  let reports = done_reports t in
+  Alcotest.(check int) "all shards reported" 3 (List.length reports);
+  Alcotest.(check int) "every arrival served exactly once" ops t.operations;
+  Alcotest.(check int) "aggregate = sum of shards" t.operations
+    (List.fold_left (fun acc (r : Shard.shard_report) -> acc + r.operations) 0
+       reports);
+  Alcotest.(check int) "histogram covers every operation" t.operations
+    (Core.Metrics.Hist.count t.hist);
+  Alcotest.(check int) "nothing pending" 0 t.pending;
+  List.iter
+    (fun (r : Shard.shard_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d linearizable" r.shard)
+        true r.linearizable;
+      Alcotest.(check (list int))
+        (Printf.sprintf "shard %d has no uncertified keys" r.shard)
+        [] r.uncertified_keys;
+      (* tagged generation keeps histories unambiguous, so the log-linear
+         monitors never fall back to the exponential Wing-Gong search *)
+      Alcotest.(check int)
+        (Printf.sprintf "shard %d monitor-certified without fallback" r.shard)
+        0 r.fallbacks;
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d histogram matches its op count" r.shard)
+        true
+        (Core.Metrics.Hist.count r.hist = r.operations))
+    reports;
+  (* Shards partition the keyspace: no key is served by two shards. *)
+  Alcotest.(check bool) "distinct keys across shards fit the keyspace" true
+    (List.fold_left (fun acc (r : Shard.shard_report) -> acc + r.keys) 0 reports
+    <= 12)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "shard",
+        [
+          Alcotest.test_case "shard vs product equivalence" `Quick
+            test_shard_vs_product_equivalence;
+          Alcotest.test_case "fingerprint independent of jobs" `Quick
+            test_fingerprint_independent_of_jobs;
+          Alcotest.test_case "multi-key certified, ops conserved" `Quick
+            test_multi_key_run_certified_and_conserved;
+        ] );
+    ]

@@ -1,10 +1,7 @@
 (* Tests for the multicore sweep engine: byte-identical fingerprints
    across domain counts, the derived-seed contract, fail-fast
    cancellation without lost reports, the checker's node-budget
-   diagnostic, the deprecated Runtime wrappers, and the pool-backed
-   robustness matrix. *)
-
-[@@@alert "-deprecated"]
+   diagnostic, and the pool-backed robustness matrix. *)
 
 let rat = Rat.make
 
@@ -109,62 +106,8 @@ let test_no_fail_fast_runs_everything () =
   Alcotest.(check int) "nothing completes" 0 done_;
   Alcotest.(check int) "every cell failed" (Array.length t.cells) failed
 
-(* The deprecated wrappers are thin shims over [run (Config.make ...)]
-   and must produce identical reports. *)
-module R = Core.Runtime.Make (Spec.Register)
-
 let wrapper_model =
   Sim.Model.make ~n:3 ~d:(rat 10 1) ~u:(rat 4 1) ~eps:(rat 1 1)
-
-let wrapper_offsets = Array.make 3 Rat.zero
-let wrapper_workload = R.Closed_loop { per_proc = 4; think = rat 1 2; seed = 5 }
-let wrapper_algorithm = R.Wtlw { x = rat 2 1 }
-
-(* A fresh delay model per run: the generator is seeded, so sharing
-   one across two runs would entangle them. *)
-let wrapper_delay () = Sim.Net.random_model ~seed:5 wrapper_model
-
-let report_fingerprint (r : R.report) =
-  ( R.ok r,
-    List.length r.operations,
-    r.by_op,
-    r.by_kind,
-    r.messages,
-    r.events,
-    r.pending )
-
-let test_run_legacy_equivalent () =
-  let legacy =
-    R.run_legacy ~model:wrapper_model ~offsets:wrapper_offsets
-      ~delay:(wrapper_delay ()) ~algorithm:wrapper_algorithm
-      ~workload:wrapper_workload ()
-  in
-  let config =
-    R.run
-      (R.Config.make ~model:wrapper_model ~offsets:wrapper_offsets
-         ~delay:(wrapper_delay ()) ~algorithm:wrapper_algorithm
-         ~workload:wrapper_workload ())
-  in
-  Alcotest.(check bool) "identical reports" true
-    (report_fingerprint legacy = report_fingerprint config)
-
-let test_run_reliable_equivalent () =
-  let faults = Sim.Fault.plan ~seed:3 [ Sim.Fault.drops 0.1 ] in
-  let legacy =
-    R.run_reliable ~faults ~max_events:500_000 ~model:wrapper_model
-      ~offsets:wrapper_offsets ~delay:(wrapper_delay ())
-      ~algorithm:wrapper_algorithm ~workload:wrapper_workload ()
-  in
-  let config =
-    R.run
-      (R.Config.reliable
-         (R.Config.make ~faults ~max_events:500_000 ~model:wrapper_model
-            ~offsets:wrapper_offsets ~delay:(wrapper_delay ())
-            ~algorithm:wrapper_algorithm ~workload:wrapper_workload ()))
-  in
-  Alcotest.(check bool) "identical reports" true
-    (report_fingerprint legacy = report_fingerprint config);
-  Alcotest.(check bool) "channel present" true (Option.is_some config.channel)
 
 (* The pool-backed robustness matrix: same cells for every domain
    count, and fully certified on the reference parameters. *)
@@ -206,13 +149,6 @@ let () =
             test_fail_fast_parallel_no_lost_reports;
           Alcotest.test_case "off by default: everything runs" `Quick
             test_no_fail_fast_runs_everything;
-        ] );
-      ( "config wrappers",
-        [
-          Alcotest.test_case "run_legacy = run (Config.make)" `Quick
-            test_run_legacy_equivalent;
-          Alcotest.test_case "run_reliable = run (Config.reliable)" `Quick
-            test_run_reliable_equivalent;
         ] );
       ( "robustness",
         [

@@ -62,6 +62,197 @@ let test_sort_schedule () =
   Alcotest.(check (list string)) "sorted by time" [ "a"; "b"; "c" ]
     (List.map (fun (e : string Core.Workload.entry) -> e.inv) sorted)
 
+(* Ties on invocation time must break on process id, never on list
+   position: a generator is free to emit same-instant entries in any
+   order, and two emissions of the same schedule must sort
+   identically. *)
+let test_sort_schedule_tie_break () =
+  let at = rat 7 1 in
+  let shuffled =
+    [
+      Core.Workload.entry ~proc:2 ~at "p2";
+      Core.Workload.entry ~proc:0 ~at "p0";
+      Core.Workload.entry ~proc:1 ~at "p1";
+    ]
+  in
+  let sorted = Core.Workload.sort_schedule shuffled in
+  Alcotest.(check (list string)) "same-time ties break by proc"
+    [ "p0"; "p1"; "p2" ]
+    (List.map (fun (e : string Core.Workload.entry) -> e.inv) sorted);
+  (* and the result is invariant under the emission order *)
+  let resorted = Core.Workload.sort_schedule (List.rev shuffled) in
+  Alcotest.(check bool) "emission-order invariant" true (sorted = resorted)
+
+(* ---------------- streaming generator ---------------- *)
+
+let drain gen =
+  let rec go acc =
+    match Core.Workload.Gen.next gen with
+    | None -> List.rev acc
+    | Some a -> go (a :: acc)
+  in
+  go []
+
+let mk_gen ?(arrival = Core.Workload.Poisson { rate = Rat.one }) ?(zipf = 0.0)
+    ?(keys = 8) ?(ops = 500) ?(seed = 11) () =
+  Core.Workload.Gen.create ~arrival ~zipf ~keys ~ops ~seed
+    ~invocation:(fun _rng ~key ~seq -> (key, seq))
+    ()
+
+let test_gen_deterministic_and_monotone () =
+  let view g =
+    List.map
+      (fun (a : (int * int) Core.Workload.keyed) ->
+        (Rat.to_string a.at, a.key, a.inv))
+      (drain g)
+  in
+  let s1 = view (mk_gen ()) and s1' = view (mk_gen ()) in
+  Alcotest.(check bool) "same seed, same stream" true (s1 = s1');
+  Alcotest.(check bool) "different seed differs" true
+    (s1 <> view (mk_gen ~seed:12 ()));
+  let arrivals = drain (mk_gen ()) in
+  Alcotest.(check int) "exactly ops arrivals" 500 (List.length arrivals);
+  let rec monotone = function
+    | (a : (int * int) Core.Workload.keyed)
+      :: (b : (int * int) Core.Workload.keyed) :: rest ->
+        Rat.le a.at b.at && Rat.sign a.at > 0 && monotone (b :: rest)
+    | [ a ] -> Rat.sign a.at > 0
+    | [] -> true
+  in
+  Alcotest.(check bool) "times positive and nondecreasing" true
+    (monotone arrivals);
+  (* the seq passed to the invocation callback is the stream position *)
+  Alcotest.(check bool) "seq = position" true
+    (List.for_all2
+       (fun i (a : (int * int) Core.Workload.keyed) -> snd a.inv = i)
+       (List.init 500 Fun.id) arrivals)
+
+let test_gen_zipf_skew () =
+  let count key arrivals =
+    List.length
+      (List.filter
+         (fun (a : (int * int) Core.Workload.keyed) -> a.key = key)
+         arrivals)
+  in
+  let uniform = drain (mk_gen ~ops:2000 ()) in
+  let skewed = drain (mk_gen ~ops:2000 ~zipf:1.5 ()) in
+  (* all keys are hit either way over 2000 draws *)
+  Alcotest.(check bool) "uniform hits every key" true
+    (List.for_all (fun k -> count k uniform > 0) (List.init 8 Fun.id));
+  Alcotest.(check bool) "skew favours key 0 heavily" true
+    (count 0 skewed > 3 * count 7 skewed);
+  Alcotest.(check bool) "uniform is not that skewed" true
+    (count 0 uniform < 3 * count 7 uniform)
+
+let test_gen_bursty_and_diurnal () =
+  let bursty =
+    drain
+      (mk_gen ~arrival:(Core.Workload.Bursty { rate = Rat.one; size = 4 })
+         ~ops:64 ())
+  in
+  (* bursts arrive as groups of [size] simultaneous arrivals *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (a : (int * int) Core.Workload.keyed) ->
+      Hashtbl.replace groups a.at
+        (1 + Option.value ~default:0 (Hashtbl.find_opt groups a.at)))
+    bursty;
+  Alcotest.(check int) "16 bursts of 4" 16 (Hashtbl.length groups);
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check int) "burst size" 4 n)
+    groups;
+  let diurnal =
+    drain
+      (mk_gen
+         ~arrival:
+           (Core.Workload.Diurnal
+              { rate = Rat.one; period = rat 100 1; trough = rat 1 10 })
+         ~ops:200 ())
+  in
+  Alcotest.(check int) "diurnal emits all ops" 200 (List.length diurnal)
+
+let test_route_round_robin_and_min_gap () =
+  let gen = mk_gen ~ops:40 () in
+  let min_gap = rat 5 1 in
+  let route =
+    Core.Workload.Route.create ~min_gap ~procs:2 ~keep:(fun _ -> true) gen
+  in
+  let rec pull proc acc =
+    match Core.Workload.Route.next route ~proc with
+    | None -> List.rev acc
+    | Some (at, item) -> pull proc ((at, item) :: acc)
+  in
+  let p0 = pull 0 [] and p1 = pull 1 [] in
+  Alcotest.(check int) "dealt evenly" 20 (List.length p0);
+  Alcotest.(check int) "dealt evenly (p1)" 20 (List.length p1);
+  let rec gaps_ok = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        Rat.ge (Rat.sub b a) min_gap && gaps_ok rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "per-proc spacing >= min_gap" true
+    (gaps_ok p0 && gaps_ok p1);
+  (* keep filter: only even keys pass, and the dropped ones are gone *)
+  let filtered =
+    Core.Workload.Route.create ~procs:1
+      ~keep:(fun k -> k mod 2 = 0)
+      (mk_gen ~ops:200 ())
+  in
+  let rec drain_route acc =
+    match Core.Workload.Route.next filtered ~proc:0 with
+    | None -> List.rev acc
+    | Some (_, item) -> drain_route (item :: acc)
+  in
+  let kept = drain_route [] in
+  Alcotest.(check bool) "only kept keys" true
+    (List.for_all
+       (fun (i : (int * int) Core.Workload.keyed) -> i.key mod 2 = 0)
+       kept);
+  Alcotest.(check bool) "some were dropped" true (List.length kept < 200)
+
+(* ---------------- histogram ---------------- *)
+
+let test_hist_quantiles () =
+  let h = Core.Metrics.Hist.create () in
+  Alcotest.(check bool) "empty has no quantiles" true
+    (Core.Metrics.Hist.quantiles h = None);
+  for i = 1 to 1000 do
+    Core.Metrics.Hist.add h (rat i 1)
+  done;
+  Alcotest.(check int) "count" 1000 (Core.Metrics.Hist.count h);
+  let q = Option.get (Core.Metrics.Hist.quantiles h) in
+  (* log-bucketed upper edges: within one bucket width (ratio
+     2^(1/16) ~ 4.4%) above the exact quantile, never below it *)
+  let near exact v = v >= exact && v <= exact *. 1.05 in
+  Alcotest.(check bool) "p50 in bucket of 500" true (near 500.0 q.p50);
+  Alcotest.(check bool) "p99 in bucket of 990" true (near 990.0 q.p99);
+  Alcotest.(check bool) "p999 in bucket of 999" true (near 999.0 q.p999);
+  (* quantiles are clamped into the exact observed range *)
+  Alcotest.(check (float 1e-9) "p=1 clamps to exact max" 1000.0
+    (Core.Metrics.Hist.quantile h 1.0));
+  let s = Option.get (Core.Metrics.Hist.summary h) in
+  Alcotest.(check int) "summary count" 1000 s.count;
+  Alcotest.(check string) "summary max exact" "1000" (Rat.to_string s.max)
+
+let test_hist_merge_partition_independent () =
+  let whole = Core.Metrics.Hist.create () in
+  let parts = Array.init 4 (fun _ -> Core.Metrics.Hist.create ()) in
+  let rng = Random.State.make [| 99 |] in
+  for i = 0 to 999 do
+    let v = rat (1 + Random.State.int rng 5000) 7 in
+    Core.Metrics.Hist.add whole v;
+    Core.Metrics.Hist.add parts.(i mod 4) v
+  done;
+  let merged = Core.Metrics.Hist.create () in
+  Array.iter (fun p -> Core.Metrics.Hist.merge merged p) parts;
+  Alcotest.(check int) "merged count" (Core.Metrics.Hist.count whole)
+    (Core.Metrics.Hist.count merged);
+  let qw = Option.get (Core.Metrics.Hist.quantiles whole) in
+  let qm = Option.get (Core.Metrics.Hist.quantiles merged) in
+  Alcotest.(check bool) "identical quantiles" true (qw = qm);
+  let render h = Format.asprintf "%a" Core.Metrics.Hist.pp h in
+  Alcotest.(check string) "identical rendering" (render whole) (render merged)
+
 let mk_op ~proc ~inv ~s ~e : (string, unit) Sim.Trace.operation =
   { proc; inv; resp = (); inv_time = rat s 1; resp_time = rat e 1 }
 
@@ -114,6 +305,18 @@ let () =
           Alcotest.test_case "concurrent bursts" `Quick
             test_concurrent_bursts_overlap;
           Alcotest.test_case "sort" `Quick test_sort_schedule;
+          Alcotest.test_case "sort tie-break by proc" `Quick
+            test_sort_schedule_tie_break;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic and monotone" `Quick
+            test_gen_deterministic_and_monotone;
+          Alcotest.test_case "zipf skew" `Quick test_gen_zipf_skew;
+          Alcotest.test_case "bursty and diurnal" `Quick
+            test_gen_bursty_and_diurnal;
+          Alcotest.test_case "route round-robin, min gap" `Quick
+            test_route_round_robin_and_min_gap;
         ] );
       ( "metrics",
         [
@@ -121,5 +324,8 @@ let () =
             test_latency_and_summary;
           Alcotest.test_case "group by op" `Quick test_group_by_op;
           Alcotest.test_case "max latency" `Quick test_max_latency;
+          Alcotest.test_case "hist quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "hist merge partition-independent" `Quick
+            test_hist_merge_partition_independent;
         ] );
     ]
