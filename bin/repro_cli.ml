@@ -321,8 +321,24 @@ let load_cmd =
     Arg.(
       value & flag & info [ "json" ] ~doc:"Emit the machine-readable report.")
   in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"DIR"
+          ~doc:
+            "Journal every completed shard report to $(docv)/journal and \
+             replay shards already journaled there, so an interrupted or \
+             killed run resumes with a byte-identical fingerprint.")
+  in
+  let journal_sync_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "journal-sync" ] ~docv:"N"
+          ~doc:"fsync the checkpoint journal every $(docv) records.")
+  in
   let run n d u eps x algo seed jobs checker pt shards ops keys arrival rate
-      period trough burst zipf faults_s reliable json =
+      period trough burst zipf faults_s reliable json resume_dir journal_sync =
     let model = make_model n d u eps in
     let x = make_x model x in
     let algorithm =
@@ -347,7 +363,12 @@ let load_cmd =
         | exception Invalid_argument msg -> `Error (false, msg)
         | cfg ->
             let cfg = if reliable then Shard.Config.reliable cfg else cfg in
-            let t = Shard.run ~jobs cfg pt in
+            Sweep.Pool.Interrupt.install ();
+            let t =
+              Shard.run ~jobs
+                ~should_stop:Sweep.Pool.Interrupt.requested
+                ?journal_dir:resume_dir ~sync_every:journal_sync cfg pt
+            in
             if json then Format.printf "%a@." Shard.pp_json t
             else Format.printf "%a@." Shard.pp t;
             let all_done =
@@ -355,11 +376,23 @@ let load_cmd =
                 (function Sweep.Pool.Done _ -> true | _ -> false)
                 t.Shard.reports
             in
-            (* Fault-free runs must certify; with injected faults a
-               flagged run is the expected outcome, so only shard
-               failures (a crashed evaluation, not a failed
-               certification) are fatal. *)
-            if
+            if t.Shard.interrupted then
+              `Error
+                ( false,
+                  match resume_dir with
+                  | Some dir ->
+                      Printf.sprintf
+                        "load interrupted; journaled shards kept — resume \
+                         with: repro load --resume %s"
+                        dir
+                  | None ->
+                      "load interrupted; partial results above are not \
+                       journaled (pass --resume DIR for a resumable run)" )
+            else if
+              (* Fault-free runs must certify; with injected faults a
+                 flagged run is the expected outcome, so only shard
+                 failures (a crashed evaluation, not a failed
+                 certification) are fatal. *)
               t.Shard.certified
               || ((not (Sim.Fault.is_none faults)) && all_done)
             then `Ok ()
@@ -379,7 +412,7 @@ let load_cmd =
        $ seed_arg $ jobs_arg $ checker_arg $ type_arg $ shards_arg
        $ total_ops_arg $ keys_arg $ arrival_arg $ rate_arg $ period_arg
        $ trough_arg $ burst_arg $ zipf_arg $ faults_arg $ reliable_arg
-       $ json_arg))
+       $ json_arg $ resume_arg $ journal_sync_arg))
 
 (* ---------------- check ---------------- *)
 
@@ -796,14 +829,23 @@ let faults_cmd =
     (* The matrix is a sweep: one pool job per (type, case) cell, with
        unchanged certification semantics and a jobs-independent
        verdict. *)
-    let cells = Sweep.robustness ~jobs ~model ~x ~seed targets in
+    Sweep.Pool.Interrupt.install ();
+    let cells =
+      Sweep.robustness ~jobs ~should_stop:Sweep.Pool.Interrupt.requested
+        ~model ~x ~seed targets
+    in
     if json then Format.printf "%a@." Core.Robustness.pp_json cells
     else begin
       Format.printf "model: %a, X = %a@.@." Sim.Model.pp model Rat.pp x;
       Format.printf "%a@." Core.Robustness.pp_matrix cells
     end;
     (* Nonzero exit unless every cell certified, so CI can gate on it. *)
-    if Core.Robustness.all_certified cells then `Ok ()
+    if Sweep.Pool.Interrupt.requested () then
+      `Error
+        ( false,
+          "faults interrupted; completed cells are reported above — re-run \
+           to evaluate the rest" )
+    else if Core.Robustness.all_certified cells then `Ok ()
     else `Error (false, "robustness matrix has uncertified cells")
   in
   Cmd.v
@@ -913,7 +955,109 @@ let sweep_cmd =
       & info [ "ops" ] ~docv:"K"
           ~doc:"Operations per process in each cell (closed loop).")
   in
-  let run jobs json_path dtype grid_spec fail_fast seed ops checker =
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"DIR"
+          ~doc:
+            "Journal every completed cell to $(docv)/journal and replay \
+             cells already journaled there, so an interrupted or killed \
+             campaign resumes with a byte-identical fingerprint.  The \
+             directory is created on first use.")
+  in
+  let journal_sync_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "journal-sync" ] ~docv:"N"
+          ~doc:"fsync the checkpoint journal every $(docv) records.")
+  in
+  let cell_budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "cell-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-cell wall budget: a cell that exceeds it fails with a \
+             named $(b,Cell_timeout) diagnostic instead of wedging the \
+             sweep, and is retried up to $(b,--cell-attempts) times with \
+             the budget multiplied by $(b,--cell-backoff).")
+  in
+  let cell_attempts_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "cell-attempts" ] ~docv:"K"
+          ~doc:"Evaluations per cell before giving up on a timeout.")
+  in
+  let cell_backoff_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "cell-backoff" ] ~docv:"F"
+          ~doc:"Wall-budget multiplier applied after each timeout.")
+  in
+  let rerun_failed_arg =
+    Arg.(
+      value & flag
+      & info [ "rerun-failed" ]
+          ~doc:
+            "With $(b,--resume): re-run journaled cells whose record is a \
+             diagnostic instead of replaying the failure.")
+  in
+  let fingerprint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fingerprint" ] ~docv:"PATH"
+          ~doc:
+            "Write the campaign fingerprint (deterministic, \
+             jobs-independent) to $(docv), for resume/merge equivalence \
+             checks.")
+  in
+  let spool_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Shared spool directory for multi-process execution; combine \
+             with $(b,--worker) to claim and evaluate cells, or \
+             $(b,--merge) to assemble the finished campaign.")
+  in
+  let worker_arg =
+    Arg.(
+      value & flag
+      & info [ "worker" ]
+          ~doc:
+            "Run as a spool worker: claim cells from $(b,--spool) via \
+             leased files, evaluate, and journal until the campaign is \
+             done or a stop signal arrives.")
+  in
+  let worker_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "worker-id" ] ~docv:"ID"
+          ~doc:"Spool worker identity (default: hostname-pid).")
+  in
+  let lease_ttl_arg =
+    Arg.(
+      value & opt float 60.0
+      & info [ "lease-ttl" ] ~docv:"SECONDS"
+          ~doc:
+            "A spool lease not heartbeated for this long is presumed dead \
+             and taken over.")
+  in
+  let merge_arg =
+    Arg.(
+      value & flag
+      & info [ "merge" ]
+          ~doc:
+            "Assemble the campaign from every worker journal in \
+             $(b,--spool); fails while any cell is missing.")
+  in
+  let run jobs json_path dtype grid_spec fail_fast seed ops checker resume_dir
+      journal_sync cell_budget cell_attempts cell_backoff rerun_failed
+      fingerprint_path spool_dir worker worker_id lease_ttl merge =
     let grid =
       { Sweep.default_grid with per_proc = ops; seeds = [ seed ]; checker }
     in
@@ -929,19 +1073,102 @@ let sweep_cmd =
           | Error msg -> Error msg)
     with
     | Error msg -> `Error (true, msg)
-    | Ok grid ->
-        let t = Sweep.run ~jobs ~fail_fast grid in
-        Format.printf "%a@." Sweep.pp t;
-        (match json_path with
-        | None -> ()
-        | Some path ->
-            let oc = open_out path in
-            let ppf = Format.formatter_of_out_channel oc in
-            Format.fprintf ppf "%a@." Sweep.pp_json t;
-            close_out oc;
-            Format.printf "wrote %s@." path);
-        if Sweep.certified t then `Ok ()
-        else `Error (false, "sweep has uncertified cells")
+    | Ok _ when (worker || merge) && spool_dir = None ->
+        `Error (true, "--worker and --merge require --spool DIR")
+    | Ok _ when worker && merge ->
+        `Error (true, "--worker and --merge are mutually exclusive")
+    | Ok _ when spool_dir <> None && not (worker || merge) ->
+        `Error (true, "--spool DIR requires --worker or --merge")
+    | Ok _ when spool_dir <> None && resume_dir <> None ->
+        `Error (true, "--spool and --resume are mutually exclusive")
+    | Ok grid -> (
+        Sweep.Pool.Interrupt.install ();
+        let should_stop = Sweep.Pool.Interrupt.requested in
+        let retry =
+          Option.map
+            (fun budget_s ->
+              {
+                Sweep.attempts = max 1 cell_attempts;
+                budget_s;
+                backoff = cell_backoff;
+              })
+            cell_budget
+        in
+        (* Shared tail for every mode that yields a campaign: print,
+           write artifacts, then gate — interruption first (nonzero,
+           with a one-line resume hint; journaled partials are already
+           on disk), certification second. *)
+        let finish ~resume_hint t =
+          Format.printf "%a@." Sweep.pp t;
+          (match json_path with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              let ppf = Format.formatter_of_out_channel oc in
+              Format.fprintf ppf "%a@." Sweep.pp_json t;
+              close_out oc;
+              Format.printf "wrote %s@." path);
+          (match fingerprint_path with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Sweep.fingerprint t);
+              close_out oc;
+              Format.printf "wrote %s@." path);
+          if t.Sweep.resume.Sweep.interrupted then
+            `Error (false, "sweep interrupted; " ^ resume_hint)
+          else if Sweep.certified t then `Ok ()
+          else `Error (false, "sweep has uncertified cells")
+        in
+        match spool_dir with
+        | Some dir when worker -> (
+            match
+              Sweep.Spool.worker ?worker_id ?retry ~should_stop
+                ~sync_every:journal_sync ~lease_ttl_s:lease_ttl ~dir grid
+            with
+            | Error msg -> `Error (false, msg)
+            | Ok r ->
+                Format.printf
+                  "worker %s: %d cells completed (%d failed), %d lease \
+                   takeovers@."
+                  r.Sweep.Spool.worker r.Sweep.Spool.completed
+                  r.Sweep.Spool.failed r.Sweep.Spool.takeovers;
+                if r.Sweep.Spool.interrupted then
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "worker interrupted; journaled cells kept — resume \
+                         with: repro sweep --spool %s --worker"
+                        dir )
+                else begin
+                  Format.printf
+                    "campaign complete; assemble with: repro sweep --spool \
+                     %s --merge@."
+                    dir;
+                  `Ok ()
+                end)
+        | Some dir -> (
+            match Sweep.Spool.merge ~dir grid with
+            | Error msg -> `Error (false, msg)
+            | Ok t -> finish ~resume_hint:"" t)
+        | None -> (
+            match resume_dir with
+            | Some dir ->
+                finish
+                  ~resume_hint:
+                    (Printf.sprintf
+                       "journaled cells kept — resume with: repro sweep \
+                        --resume %s"
+                       dir)
+                  (Sweep.run_durable ~jobs ~fail_fast ?retry ~should_stop
+                     ~sync_every:journal_sync
+                     ~replay_failures:(not rerun_failed) ~dir grid)
+            | None ->
+                finish
+                  ~resume_hint:
+                    "partial results above are not journaled (pass --resume \
+                     DIR for a resumable campaign)"
+                  (Sweep.run ~jobs ~fail_fast ?retry ~should_stop grid)))
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -951,12 +1178,19 @@ let sweep_cmd =
           — sharded across a pool of OCaml domains.  Every cell runs the \
           workload end-to-end, machine-checks linearizability, and judges \
           the worst observed latency of each operation class against the \
-          paper's bound formula.  Exits nonzero unless every cell is \
+          paper's bound formula.  With $(b,--resume) the campaign is \
+          checkpointed to a crash-safe journal and a killed run resumes \
+          with a byte-identical fingerprint; with $(b,--spool) plus \
+          $(b,--worker)/$(b,--merge) several processes split one campaign \
+          through leased cell claims.  Exits nonzero unless every cell is \
           certified.")
     Term.(
       ret
         (const run $ jobs_arg $ json_arg $ sweep_type_arg $ grid_arg
-       $ fail_fast_arg $ seed_arg $ sweep_ops_arg $ checker_arg))
+       $ fail_fast_arg $ seed_arg $ sweep_ops_arg $ checker_arg $ resume_arg
+       $ journal_sync_arg $ cell_budget_arg $ cell_attempts_arg
+       $ cell_backoff_arg $ rerun_failed_arg $ fingerprint_arg $ spool_arg
+       $ worker_arg $ worker_id_arg $ lease_ttl_arg $ merge_arg))
 
 (* ---------------- bench ---------------- *)
 

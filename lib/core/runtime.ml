@@ -86,6 +86,7 @@ module Make (T : Spec.Data_type.S) = struct
       faults : Sim.Fault.plan;
       max_events : int option;
       max_check_nodes : int option;
+      deadline : (unit -> bool) option;
       checker : checker;
       channel : Reliable.config option;
       model : Sim.Model.t;
@@ -96,7 +97,7 @@ module Make (T : Spec.Data_type.S) = struct
     }
 
     let make ?(check = true) ?(retain_events = true)
-        ?(faults = Sim.Fault.none) ?max_events ?max_check_nodes
+        ?(faults = Sim.Fault.none) ?max_events ?max_check_nodes ?deadline
         ?(checker = Monitor) ?channel ~model ~offsets ~delay ~algorithm
         ~workload () =
       {
@@ -105,6 +106,7 @@ module Make (T : Spec.Data_type.S) = struct
         faults;
         max_events;
         max_check_nodes;
+        deadline;
         checker;
         channel;
         model;
@@ -144,7 +146,7 @@ module Make (T : Spec.Data_type.S) = struct
         (r.Mon.linearization, label)
 
   (* Drive one engine (of any algorithm) through the workload. *)
-  let drive (type m g) ?max_events ~(model : Sim.Model.t)
+  let drive (type m g) ?max_events ?deadline ~(model : Sim.Model.t)
       (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
     (match workload with
     | Schedule entries ->
@@ -185,7 +187,7 @@ module Make (T : Spec.Data_type.S) = struct
           | None -> ()
           | Some (at, inv) -> Sim.Engine.schedule_invoke engine ~at ~proc inv
         done);
-    Sim.Engine.run ?max_events engine
+    Sim.Engine.run ?max_events ?deadline engine
 
   (* Assemble a report from the trace's incremental sink snapshots:
      counters, pairing and admissibility are O(1) lookups, so the only
@@ -226,7 +228,7 @@ module Make (T : Spec.Data_type.S) = struct
      the step limit is not lost: the sinks hold everything up to the
      truncation point, so the report is returned with
      [truncated = true] (and typically [pending > 0]). *)
-  let report_of_run (type m g) ?max_events ?max_check_nodes
+  let report_of_run (type m g) ?max_events ?max_check_nodes ?deadline
       ?(checker = Monitor) ?channel ~(model : Sim.Model.t) ~algorithm ~check
       (engine : (m, g, T.invocation, T.response) Sim.Engine.t) workload =
     let trace = Sim.Engine.trace engine in
@@ -238,8 +240,14 @@ module Make (T : Spec.Data_type.S) = struct
         Metrics.Grouped.add by_op_acc (T.op_of op.inv) l;
         Metrics.Grouped.add by_kind_acc (kind_of op.inv) l;
         Metrics.Hist.add hist l);
+    (* A deadline expiry is deliberately NOT caught here: unlike the
+       step limit (whose partial report is still meaningful), a wall
+       budget means the caller wants the cell abandoned — the campaign
+       layer turns the escaping [Sim.Engine.Deadline_exceeded] into a
+       named [Cell_timeout] diagnostic, mirroring how
+       [Lin.Checker.Node_budget_exceeded] is surfaced. *)
     let truncated =
-      match drive ?max_events ~model engine workload with
+      match drive ?max_events ?deadline ~model engine workload with
       | () -> false
       | exception Sim.Engine.Step_limit_exceeded _ -> true
     in
@@ -279,8 +287,9 @@ module Make (T : Spec.Data_type.S) = struct
     let finish (type m g)
         (engine : (m, g, T.invocation, T.response) Sim.Engine.t) =
       report_of_run ?max_events:cfg.max_events
-        ?max_check_nodes:cfg.max_check_nodes ~checker:cfg.checker ~model
-        ~algorithm:name ~check:cfg.check engine workload
+        ?max_check_nodes:cfg.max_check_nodes ?deadline:cfg.deadline
+        ~checker:cfg.checker ~model ~algorithm:name ~check:cfg.check engine
+        workload
     in
     let retain_events = cfg.retain_events and faults = cfg.faults in
     match algorithm with
@@ -319,7 +328,8 @@ module Make (T : Spec.Data_type.S) = struct
     let finish (type m g)
         (engine : (m, g, T.invocation, T.response) Sim.Engine.t) stats =
       report_of_run ?max_events:cfg.max_events
-        ?max_check_nodes:cfg.max_check_nodes ~checker:cfg.checker
+        ?max_check_nodes:cfg.max_check_nodes ?deadline:cfg.deadline
+        ~checker:cfg.checker
         ~channel:{ config; effective; stats }
         ~model:effective ~algorithm:name ~check:cfg.check engine workload
     in

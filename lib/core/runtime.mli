@@ -112,6 +112,12 @@ module Make (T : Spec.Data_type.S) : sig
               raises {!Lin.Checker.Node_budget_exceeded} so a
               pathological cell aborts with a named diagnostic instead
               of hanging *)
+      deadline : (unit -> bool) option;
+          (** cooperative cancellation hook polled by the simulation
+              loop; when it reports expiry the run aborts with
+              {!Sim.Engine.Deadline_exceeded} (deliberately not caught:
+              the sweep layer converts it into a [Cell_timeout]
+              diagnostic, mirroring the node-budget pattern) *)
       checker : checker;
           (** which engine certifies histories (default [Monitor]) *)
       channel : Reliable.config option;
@@ -134,6 +140,7 @@ module Make (T : Spec.Data_type.S) : sig
       ?faults:Sim.Fault.plan ->
       ?max_events:int ->
       ?max_check_nodes:int ->
+      ?deadline:(unit -> bool) ->
       ?checker:checker ->
       ?channel:Reliable.config ->
       model:Sim.Model.t ->
@@ -160,7 +167,9 @@ module Make (T : Spec.Data_type.S) : sig
       exceeding [max_events] is returned as a partial report with
       [truncated = true] rather than raising.
       @raise Lin.Checker.Node_budget_exceeded when [max_check_nodes]
-      is set and the linearizability search exceeds it. *)
+      is set and the linearizability search exceeds it.
+      @raise Sim.Engine.Deadline_exceeded when [deadline] is set and
+      reports expiry mid-run. *)
 
   val report_of_trace :
     ?skew_admissible:bool ->

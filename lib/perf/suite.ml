@@ -72,6 +72,28 @@ let load_events ~ops () =
   if not t.certified then failwith "load bench section: run not certified";
   t.events
 
+(* The durable-campaign checkpoint path: frame, checksum and append
+   [records] journal records to a scratch file (one fsync at the end,
+   so the metric tracks the framing cost, not disk latency), then scan
+   them back with full checksum validation. *)
+let journal_roundtrip ~records () =
+  let path = Filename.temp_file "repro-perf-journal" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let fp = "perf-journal 1" in
+      let w = Sweep.Journal.writer ~sync_every:records ~path ~fp () in
+      for i = 1 to records do
+        Sweep.Journal.append w
+          ~key:(Printf.sprintf "cell-%06d" i)
+          ~input_fp:(i * 2654435761)
+          (i, i * i, "payload")
+      done;
+      Sweep.Journal.close w;
+      let loaded, diags = Sweep.Journal.load ~path ~fp in
+      if diags <> [] then failwith "journal bench section: dirty scan";
+      List.length (loaded : (int * int * string) Sweep.Journal.record list))
+
 let sections =
   [
     {
@@ -91,6 +113,13 @@ let sections =
         "4000-op diurnal Zipf load over 4 FIFO-queue shards, certified per \
          key";
       run = load_events ~ops:4_000;
+    };
+    {
+      name = "journal-1k";
+      description =
+        "1000 checkpoint records framed, checksummed, appended and scanned \
+         back";
+      run = journal_roundtrip ~records:1_000;
     };
   ]
 

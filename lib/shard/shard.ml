@@ -114,9 +114,19 @@ type t = {
   pending : int;
   faults : Sim.Trace.fault_counts;
   certified : bool;
+  replayed : int;  (** shards answered from the resume journal *)
+  interrupted : bool;  (** a stop request drained the pool early *)
+  journal_diagnostics : string list;
   jobs : int;
   wall_s : float;
 }
+
+(* Journal header for [repro load --resume]: binds the file to the
+   shard-report schema and the compiler (Marshal compatibility).  The
+   code digest lives in the per-shard input fingerprint instead, so a
+   rebuild invalidates shards individually. *)
+let journal_header () =
+  Printf.sprintf "repro-load-shards;schema=1;ocaml=%s" Sys.ocaml_version
 
 (* Canonical shard coordinates: the input to the per-shard seed hash
    and the shard id in diagnostics.  Everything that can change a
@@ -293,23 +303,97 @@ module Make (T : Spec.Data_type.S) = struct
       by_op = report.by_op;
     }
 
-  let run ?(jobs = 1) (cfg : Config.t) =
+  (* Everything that shapes a shard's report but is not part of its
+     coordinate key: checker budgets and the code itself (mirrors
+     [Sweep.input_fingerprint]). *)
+  let input_fp ?code_fp (cfg : Config.t) ~shard =
+    let code =
+      match code_fp with Some c -> c | None -> Sweep.code_digest ()
+    in
+    fnv1a
+      (shard_key cfg ~data_type:T.name ~shard
+      ^ Printf.sprintf ";max_events=%s;max_check_nodes=%s;checker=%s;code=%s"
+          (match cfg.max_events with
+          | None -> "none"
+          | Some e -> string_of_int e)
+          (match cfg.max_check_nodes with
+          | None -> "none"
+          | Some e -> string_of_int e)
+          (match cfg.checker with
+          | Core.Runtime.Monitor -> "monitor"
+          | Core.Runtime.Wing_gong -> "wing-gong")
+          code)
+
+  let run ?(jobs = 1) ?should_stop ?journal_dir ?(sync_every = 1) ?code_fp
+      (cfg : Config.t) =
     let t0 = Unix.gettimeofday () in
-    let reports, locals =
-      Pool.map ~jobs ~fail_fast:false ~n:cfg.shards
-        ~init:(fun () -> Metrics.Hist.create ())
-        ~f:(fun local shard ->
+    let fp = journal_header () in
+    let prefill = Array.make cfg.shards None in
+    let jdiags = ref [] in
+    let replayed = ref 0 in
+    let writer =
+      match journal_dir with
+      | None -> None
+      | Some dir ->
+          Sweep.Journal.mkdir_p dir;
+          let path = Filename.concat dir "journal" in
+          let records, ds =
+            (Sweep.Journal.load ~path ~fp
+              : shard_report Sweep.Journal.record list * _)
+          in
+          jdiags := List.map Sweep.Journal.diagnostic_to_string ds;
+          let tbl = Sweep.Journal.index records in
+          for shard = 0 to cfg.shards - 1 do
+            match
+              Hashtbl.find_opt tbl (shard_key cfg ~data_type:T.name ~shard)
+            with
+            | Some (r : _ Sweep.Journal.record)
+              when r.Sweep.Journal.input_fp = input_fp ?code_fp cfg ~shard ->
+                prefill.(shard) <- Some r.Sweep.Journal.payload;
+                incr replayed
+            | _ -> ()
+          done;
+          Some (Sweep.Journal.writer ~sync_every ~path ~fp ())
+    in
+    let pending =
+      let acc = ref [] in
+      for s = cfg.shards - 1 downto 0 do
+        if prefill.(s) = None then acc := s :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let outcomes, _locals =
+      Pool.map ?should_stop ~jobs ~fail_fast:false ~n:(Array.length pending)
+        ~init:(fun () -> ())
+        (fun () j ->
+          let shard = pending.(j) in
           let r = run_shard cfg ~shard in
-          Metrics.Hist.merge local r.hist;
+          (match writer with
+          | Some w ->
+              Sweep.Journal.append w
+                ~key:(shard_key cfg ~data_type:T.name ~shard)
+                ~input_fp:(input_fp ?code_fp cfg ~shard)
+                r
+          | None -> ());
           Ok r)
     in
+    Option.iter Sweep.Journal.close writer;
     let wall_s = Unix.gettimeofday () -. t0 in
-    let hist = Metrics.Hist.create () in
-    List.iter (fun l -> Metrics.Hist.merge hist l) locals;
+    let reports = Array.make cfg.shards Pool.Skipped in
+    Array.iteri
+      (fun s pre ->
+        match pre with Some r -> reports.(s) <- Pool.Done r | None -> ())
+      prefill;
+    Array.iteri (fun j o -> reports.(pending.(j)) <- o) outcomes;
     let done_ : shard_report list =
       Array.to_list reports
       |> List.filter_map (function Pool.Done r -> Some r | _ -> None)
     in
+    (* Rebuilt from the reports (replayed or fresh) rather than the
+       pool locals: bucket-wise histogram merging is exact, so this is
+       identical to the all-fresh aggregate. *)
+    let hist = Metrics.Hist.create () in
+    List.iter (fun (r : shard_report) -> Metrics.Hist.merge hist r.hist) done_;
     let sum (f : shard_report -> int) =
       List.fold_left (fun acc r -> acc + f r) 0 done_
     in
@@ -333,15 +417,19 @@ module Make (T : Spec.Data_type.S) = struct
       certified =
         List.length done_ = cfg.shards
         && List.for_all (fun (r : shard_report) -> r.certified) done_;
+      replayed = !replayed;
+      interrupted =
+        (match should_stop with Some f -> f () | None -> false);
+      journal_diagnostics = !jdiags;
       jobs;
       wall_s;
     }
 end
 
-let run ?jobs cfg pt =
+let run ?jobs ?should_stop ?journal_dir ?sync_every ?code_fp cfg pt =
   let (module T : Spec.Data_type.S) = Sweep.Packed_type.modl pt in
   let module S = Make (T) in
-  S.run ?jobs cfg
+  S.run ?jobs ?should_stop ?journal_dir ?sync_every ?code_fp cfg
 
 (* ---------- deterministic fingerprint and reports ---------- *)
 
@@ -409,6 +497,13 @@ let pp ppf t =
       "  faults: %d dropped, %d duplicated, %d spiked, %d crashed, %d skewed@,"
       t.faults.dropped t.faults.duplicated t.faults.spiked t.faults.crashed
       t.faults.skewed;
+  List.iter
+    (fun d -> Format.fprintf ppf "journal diagnostic: %s@," d)
+    t.journal_diagnostics;
+  if t.replayed > 0 then
+    Format.fprintf ppf "resume: %d of %d shards replayed from journal@,"
+      t.replayed t.shards;
+  if t.interrupted then Format.fprintf ppf "INTERRUPTED (resumable)@,";
   Format.fprintf ppf "aggregate: %-9s %7d ops  %s  (jobs=%d, wall=%.2fs)@]"
     (if t.certified then "certified" else "FLAGGED")
     t.operations (hist_str t.hist) t.jobs t.wall_s
@@ -461,4 +556,12 @@ let pp_json ppf t =
   (match Metrics.Hist.quantiles t.hist with
   | None -> ()
   | Some q -> Format.fprintf ppf ",\"quantiles\":%a" pp_json_quantiles q);
-  Format.fprintf ppf "},\"jobs\":%d,\"wall_s\":%.3f}" t.jobs t.wall_s
+  Format.fprintf ppf
+    "},\"replayed\":%d,\"interrupted\":%b,\"journal_diagnostics\":[" t.replayed
+    t.interrupted;
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "\"%s\"" (json_string d))
+    t.journal_diagnostics;
+  Format.fprintf ppf "],\"jobs\":%d,\"wall_s\":%.3f}" t.jobs t.wall_s

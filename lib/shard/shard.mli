@@ -105,21 +105,50 @@ type t = {
   pending : int;
   faults : Sim.Trace.fault_counts;  (** summed across shards *)
   certified : bool;  (** every shard completed and certified *)
+  replayed : int;  (** shards answered from the resume journal *)
+  interrupted : bool;  (** a stop request drained the pool early *)
+  journal_diagnostics : string list;
+      (** named corruption/truncation findings from journal loading *)
   jobs : int;
   wall_s : float;
 }
+
+val journal_header : unit -> string
+(** Header fingerprint for shard-report journals (schema + compiler). *)
 
 module Make (T : Spec.Data_type.S) : sig
   val run_shard : Config.t -> shard:int -> shard_report
   (** Run one shard inline (used by {!run}; exposed for tests). *)
 
-  val run : ?jobs:int -> Config.t -> t
+  val run :
+    ?jobs:int ->
+    ?should_stop:(unit -> bool) ->
+    ?journal_dir:string ->
+    ?sync_every:int ->
+    ?code_fp:string ->
+    Config.t ->
+    t
   (** Run all shards on [jobs] pool domains (default 1 = inline) and
       merge.  Everything but [jobs] and [wall_s] is independent of
-      [jobs]. *)
+      [jobs].  With [journal_dir], completed shard reports are
+      journaled (checksummed, fsync'd every [sync_every]) and shards
+      already journaled with a matching input fingerprint — shard
+      coordinates, checker budgets, and the binary digest ([code_fp]
+      overrides; tests) — are replayed instead of re-run, so an
+      interrupted [repro load] resumes with a byte-identical
+      {!fingerprint}.  [should_stop] drains the pool gracefully and
+      marks the run [interrupted]. *)
 end
 
-val run : ?jobs:int -> Config.t -> Sweep.Packed_type.t -> t
+val run :
+  ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
+  ?journal_dir:string ->
+  ?sync_every:int ->
+  ?code_fp:string ->
+  Config.t ->
+  Sweep.Packed_type.t ->
+  t
 (** {!Make.run} dispatched over a packed bundled type. *)
 
 val fingerprint : t -> string

@@ -250,7 +250,9 @@ let dispatch t event =
 
 let cancelled_timers t = Hashtbl.length t.cancelled
 
-let run ?(max_events = 1_000_000) t =
+exception Deadline_exceeded of { events : int }
+
+let run ?(max_events = 1_000_000) ?deadline t =
   let steps = ref 0 in
   let rec loop () =
     if not (Event_queue.is_empty t.queue) then begin
@@ -258,6 +260,13 @@ let run ?(max_events = 1_000_000) t =
       let event = Event_queue.pop_min t.queue in
       incr steps;
       if !steps > max_events then raise (Step_limit_exceeded max_events);
+      (* Poll the deadline on the first event and then every 64th: often
+         enough that a wedged run is cut promptly, rarely enough that
+         the closure call never shows on the hot path. *)
+      (match deadline with
+      | Some expired when !steps land 63 = 1 && expired () ->
+          raise (Deadline_exceeded { events = !steps })
+      | _ -> ());
       assert (Rat.ge time t.now);
       t.now <- time;
       dispatch t event;

@@ -102,11 +102,27 @@ val cancelled_timers : ('msg, 'tag, 'inv, 'resp) t -> int
 
 exception Step_limit_exceeded of int
 
-val run : ?max_events:int -> ('msg, 'tag, 'inv, 'resp) t -> unit
+exception Deadline_exceeded of { events : int }
+(** Raised by {!run} when the caller-supplied [deadline] closure
+    reports expiry; [events] is the number of events dispatched so
+    far.  The engine stays clock-agnostic: the closure decides what
+    "expired" means (wall clock, cooperative cancellation, ...). *)
+
+val run :
+  ?max_events:int ->
+  ?deadline:(unit -> bool) ->
+  ('msg, 'tag, 'inv, 'resp) t ->
+  unit
 (** Process events until the queue drains (the run is then {e complete}
     in the paper's sense: all messages delivered, all timers resolved).
+
+    [deadline] (default: never) is polled on the first dispatched event
+    and then every 64th; when it returns [true] the run aborts with
+    {!Deadline_exceeded}.  A deadline that is already expired on entry
+    therefore aborts deterministically after exactly one event.
     @raise Step_limit_exceeded if more than [max_events] (default
     1_000_000) events are dispatched, which indicates a bug such as a
-    timer loop. *)
+    timer loop.
+    @raise Deadline_exceeded if [deadline] reports expiry. *)
 
 val trace : ('msg, 'tag, 'inv, 'resp) t -> ('msg, 'inv, 'resp) Trace.t

@@ -189,7 +189,7 @@ let bound_for ~algo ~(judged : Sim.Model.t) ~x kind =
   | Centralized -> Bounds.Theorems.ub_centralized judged
   | Tob -> Bounds.Theorems.ub_tob judged
 
-let eval grid (c : cell) : (verdict, string) result =
+let eval ?wall_budget_s grid (c : cell) : (verdict, string) result =
   let key = cell_key grid c in
   let seed = derived_seed grid c in
   let m = c.point in
@@ -201,9 +201,23 @@ let eval grid (c : cell) : (verdict, string) result =
     | Max_delays -> Sim.Net.max_delay_model m
     | Min_delays -> Sim.Net.min_delay_model m
   in
+  (* Per-cell wall budget: a closure over the start time, polled by the
+     simulation loop.  An exhausted budget (deliberately including 0.0,
+     which expires on the very first poll) surfaces below as the named
+     Cell_timeout diagnostic — the event-count is left out of the
+     message so timed-out cells render identically across runs and the
+     campaign fingerprint stays reproducible. *)
+  let deadline =
+    Option.map
+      (fun budget ->
+        let t0 = Unix.gettimeofday () in
+        fun () -> Unix.gettimeofday () -. t0 >= budget)
+      wall_budget_s
+  in
   let cfg =
     R.Config.make ~faults:c.plan ~max_events:grid.max_events
-      ?max_check_nodes:grid.max_check_nodes ~checker:grid.checker ~model:m
+      ?max_check_nodes:grid.max_check_nodes ?deadline ~checker:grid.checker
+      ~model:m
       ~offsets:(Array.make m.n Rat.zero)
       ~delay
       ~algorithm:(runtime_algo m c.algo)
@@ -217,6 +231,10 @@ let eval grid (c : cell) : (verdict, string) result =
       Error
         (Format.asprintf "%s: %a (max_check_nodes)" key
            Lin.Checker.pp_budget_exceeded (nodes, prefix, total))
+  | exception Sim.Engine.Deadline_exceeded _ ->
+      Error
+        (Printf.sprintf "%s: Cell_timeout: exceeded %gs wall budget" key
+           (Option.value wall_budget_s ~default:0.0))
   | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" key msg)
   | report ->
       let judged =
@@ -258,6 +276,80 @@ let eval grid (c : cell) : (verdict, string) result =
           bounds;
         }
 
+(* ---------- bounded retry with exponential backoff ---------- *)
+
+type retry = { attempts : int; budget_s : float; backoff : float }
+
+let cell_timed_out msg =
+  let needle = "Cell_timeout" in
+  let nl = String.length needle and ml = String.length msg in
+  let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+  at 0
+
+(* Evaluate one cell under the retry policy: each timed-out attempt
+   widens the wall budget by [backoff] (a cell that is merely slow gets
+   more room; a genuinely wedged one converges to a named Cell_timeout
+   diagnostic after [attempts] tries).  Non-timeout failures are
+   deterministic — retrying them would only repeat the work — so they
+   return immediately.  Also returns the number of attempts spent. *)
+let eval_with_retry ?retry grid (c : cell) : (verdict, string) result * int =
+  match retry with
+  | None -> (eval grid c, 1)
+  | Some { attempts; budget_s; backoff } ->
+      let attempts = max 1 attempts in
+      let rec go k budget =
+        match eval ~wall_budget_s:budget grid c with
+        | Error msg when cell_timed_out msg ->
+            if k < attempts then go (k + 1) (budget *. backoff)
+            else
+              ( Error
+                  (Printf.sprintf "%s (gave up after %d attempts)" msg attempts),
+                k )
+        | r -> (r, k)
+      in
+      go 1 budget_s
+
+(* ---------- input fingerprints for incremental invalidation ---------- *)
+
+(* Digest of the running binary: any rebuild re-runs journaled cells
+   (their semantics may have changed) while an unchanged binary replays
+   them.  Lazy — hashing the executable costs a file read. *)
+let code_fingerprint =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with Sys_error _ | Unix.Unix_error _ -> "unknown")
+
+let code_digest () = Lazy.force code_fingerprint
+
+(* Everything that shapes a cell's result but is not part of its
+   coordinate key: grid-level budgets, the certification engine, the
+   compiler and the code itself. *)
+let env_string ?code_fp grid =
+  let code =
+    match code_fp with Some c -> c | None -> Lazy.force code_fingerprint
+  in
+  Printf.sprintf "max_events=%d;max_check_nodes=%s;checker=%s;ocaml=%s;code=%s"
+    grid.max_events
+    (match grid.max_check_nodes with
+    | None -> "none"
+    | Some n -> string_of_int n)
+    (match grid.checker with
+    | Core.Runtime.Monitor -> "monitor"
+    | Core.Runtime.Wing_gong -> "wing-gong")
+    Sys.ocaml_version code
+
+let input_fingerprint ?code_fp grid c =
+  fnv1a (cell_key grid c ^ ";" ^ env_string ?code_fp grid)
+
+(* The journal header binds the file to the record schema and the
+   compiler (Marshal compatibility).  The code fingerprint is
+   deliberately NOT here: a rebuild must invalidate cells one by one
+   through [input_fingerprint], not nuke the whole journal. *)
+let journal_header () =
+  Printf.sprintf "repro-sweep-cells;schema=1;ocaml=%s" Sys.ocaml_version
+
+(* ---------- campaign execution ---------- *)
+
 (* Domain-local streaming aggregation, merged at the barrier.  The
    per-domain accumulators see different cell subsets depending on the
    partition, but Acc/Grouped merging is exact and commutative, so the
@@ -268,30 +360,77 @@ type local = {
   kinds : Spec.Op_kind.t Metrics.Grouped.t;
 }
 
+(* Observability per cell, excluded from {!fingerprint} exactly like
+   [jobs]/[wall_s]: replayed cells carry zero wall time and attempts. *)
+type cell_meta = { wall_s : float; attempts : int; replayed : bool }
+
+type resume_stats = {
+  replayed : int;  (** cells answered from the journal *)
+  invalidated : int;  (** journaled cells re-run because inputs changed *)
+  executed : int;  (** cells evaluated in this process *)
+  interrupted : bool;  (** a stop request drained the pool early *)
+  journal_diagnostics : string list;
+      (** named corruption/truncation findings from journal loading *)
+}
+
+let no_resume =
+  {
+    replayed = 0;
+    invalidated = 0;
+    executed = 0;
+    interrupted = false;
+    journal_diagnostics = [];
+  }
+
 type t = {
   grid : grid;
   cells : cell array;
   results : verdict Pool.outcome array;
+  meta : cell_meta array;
   total : Metrics.summary option;
   hist : Metrics.Hist.t;  (** merged latency histogram of every cell *)
   by_kind : (Spec.Op_kind.t * Metrics.summary) list;  (** sorted by class *)
+  resume : resume_stats;
   jobs : int;
   wall_s : float;
 }
 
-let run ?(jobs = 1) ?(fail_fast = false) grid =
-  let cells = Array.of_list (cells grid) in
+(* Shared executor: evaluate the cells [prefill] does not already
+   answer, then assemble the campaign as if every cell had run here.
+   Because Acc/Hist/Grouped merging is exact, commutative and
+   associative, absorbing a replayed verdict is indistinguishable from
+   re-running its cell — this is what makes resumed (and spool-merged)
+   fingerprints byte-identical to a fresh single-process run. *)
+let execute ?retry ?should_stop ?journal_append ~jobs ~fail_fast
+    ~(prefill : (verdict, string) result option array)
+    ~(resume0 : resume_stats) grid (cells : cell array) =
+  let n = Array.length cells in
   let t0 = Unix.gettimeofday () in
-  let results, locals =
-    Pool.map ~jobs ~fail_fast ~n:(Array.length cells)
+  let meta = Array.make n { wall_s = 0.0; attempts = 0; replayed = false } in
+  let pending =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if prefill.(i) = None then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let outcomes, locals =
+    Pool.map ?should_stop ~jobs ~fail_fast ~n:(Array.length pending)
       ~init:(fun () ->
         {
           lat = Metrics.Acc.create ();
           hist = Metrics.Hist.create ();
           kinds = Metrics.Grouped.create ();
         })
-      ~f:(fun local i ->
-        match eval grid cells.(i) with
+      (fun local j ->
+        let i = pending.(j) in
+        let c = cells.(i) in
+        let c0 = Unix.gettimeofday () in
+        let r, attempts = eval_with_retry ?retry grid c in
+        meta.(i) <-
+          { wall_s = Unix.gettimeofday () -. c0; attempts; replayed = false };
+        (match journal_append with Some f -> f c r | None -> ());
+        (match r with
         | Ok v ->
             (match v.latency with
             | Some s -> Metrics.Acc.absorb local.lat s
@@ -299,9 +438,9 @@ let run ?(jobs = 1) ?(fail_fast = false) grid =
             Metrics.Hist.merge local.hist v.hist;
             List.iter
               (fun (k, s) -> Metrics.Grouped.absorb local.kinds k s)
-              v.by_kind;
-            Ok v
-        | Error _ as e -> e)
+              v.by_kind
+        | Error _ -> ());
+        r)
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let lat = Metrics.Acc.create () in
@@ -313,6 +452,33 @@ let run ?(jobs = 1) ?(fail_fast = false) grid =
       Metrics.Hist.merge hist l.hist;
       Metrics.Grouped.merge kinds l.kinds)
     locals;
+  let results = Array.make n Pool.Skipped in
+  let executed = ref 0 in
+  Array.iteri
+    (fun j outcome ->
+      (match outcome with
+      | Pool.Done _ | Pool.Failed _ -> incr executed
+      | Pool.Skipped -> ());
+      results.(pending.(j)) <- outcome)
+    outcomes;
+  Array.iteri
+    (fun i pre ->
+      match pre with
+      | None -> ()
+      | Some r ->
+          meta.(i) <- { wall_s = 0.0; attempts = 0; replayed = true };
+          (match r with
+          | Ok v ->
+              results.(i) <- Pool.Done v;
+              (match v.latency with
+              | Some s -> Metrics.Acc.absorb lat s
+              | None -> ());
+              Metrics.Hist.merge hist v.hist;
+              List.iter
+                (fun (k, s) -> Metrics.Grouped.absorb kinds k s)
+                v.by_kind
+          | Error msg -> results.(i) <- Pool.Failed msg))
+    prefill;
   let by_kind =
     (* Grouped preserves first-seen order, which depends on the
        partition; sort by class name for a deterministic report. *)
@@ -321,16 +487,85 @@ let run ?(jobs = 1) ?(fail_fast = false) grid =
         compare (Spec.Op_kind.to_string a) (Spec.Op_kind.to_string b))
       (Metrics.Grouped.summaries kinds)
   in
+  let interrupted =
+    match should_stop with Some f -> f () | None -> false
+  in
   {
     grid;
     cells;
     results;
+    meta;
     total = Metrics.Acc.summary lat;
     hist;
     by_kind;
+    resume = { resume0 with executed = !executed; interrupted };
     jobs;
     wall_s;
   }
+
+let run ?(jobs = 1) ?(fail_fast = false) ?retry ?should_stop grid =
+  let cells = Array.of_list (cells grid) in
+  execute ?retry ?should_stop ~jobs ~fail_fast
+    ~prefill:(Array.make (Array.length cells) None)
+    ~resume0:no_resume grid cells
+
+(* Durable campaign: load the journal, replay every record whose key
+   and input fingerprint still match the grid, run (and journal) the
+   remainder.  [replay_failures] (default true) also replays journaled
+   diagnostics — needed for fingerprint-identical merges; pass false to
+   re-run previously failed cells instead. *)
+let run_durable ?(jobs = 1) ?(fail_fast = false) ?retry ?should_stop
+    ?(sync_every = 1) ?(replay_failures = true) ?code_fp ~dir grid =
+  Journal.mkdir_p dir;
+  let path = Filename.concat dir "journal" in
+  let fp = journal_header () in
+  let records, diags =
+    (Journal.load ~path ~fp
+      : (verdict, string) result Journal.record list * _)
+  in
+  let tbl = Journal.index records in
+  let cells = Array.of_list (cells grid) in
+  let n = Array.length cells in
+  let prefill = Array.make n None in
+  let replayed = ref 0 and invalidated = ref 0 in
+  Array.iteri
+    (fun i c ->
+      match Hashtbl.find_opt tbl (cell_key grid c) with
+      | None -> ()
+      | Some (r : _ Journal.record) ->
+          if r.Journal.input_fp <> input_fingerprint ?code_fp grid c then
+            incr invalidated
+          else begin
+            match r.Journal.payload with
+            | Ok _ as ok ->
+                prefill.(i) <- Some ok;
+                incr replayed
+            | Error _ as e ->
+                if replay_failures then begin
+                  prefill.(i) <- Some e;
+                  incr replayed
+                end
+          end)
+    cells;
+  let w = Journal.writer ~sync_every ~path ~fp () in
+  Fun.protect
+    ~finally:(fun () -> Journal.close w)
+    (fun () ->
+      let journal_append c r =
+        Journal.append w ~key:(cell_key grid c)
+          ~input_fp:(input_fingerprint ?code_fp grid c)
+          r
+      in
+      execute ?retry ?should_stop ~journal_append ~jobs ~fail_fast ~prefill
+        ~resume0:
+          {
+            no_resume with
+            replayed = !replayed;
+            invalidated = !invalidated;
+            journal_diagnostics =
+              List.map Journal.diagnostic_to_string diags;
+          }
+        grid cells)
 
 let certified t =
   Array.length t.results > 0
@@ -419,6 +654,18 @@ let pp ppf t =
   (match Metrics.Hist.quantiles t.hist with
   | None -> ()
   | Some q -> Format.fprintf ppf "tail: %a@," Metrics.Hist.pp_quantiles q);
+  List.iter
+    (fun d -> Format.fprintf ppf "journal diagnostic: %s@," d)
+    t.resume.journal_diagnostics;
+  let retries =
+    Array.fold_left
+      (fun acc m -> if m.attempts > 1 then acc + m.attempts - 1 else acc)
+      0 t.meta
+  in
+  if t.resume.replayed > 0 || t.resume.invalidated > 0 || retries > 0 then
+    Format.fprintf ppf "resume: %d replayed, %d invalidated, %d retries@,"
+      t.resume.replayed t.resume.invalidated retries;
+  if t.resume.interrupted then Format.fprintf ppf "INTERRUPTED (resumable)@,";
   Format.fprintf ppf
     "%d cells: %d done (%d certified), %d failed, %d skipped; jobs=%d \
      wall=%.2fs@]"
@@ -479,7 +726,10 @@ let pp_json ppf t =
           Format.fprintf ppf "{\"status\":\"failed\",\"error\":\"%s\"}"
             (json_string msg)
       | Pool.Done v -> pp_json_verdict ppf v);
-      Format.fprintf ppf "}")
+      (* Observability only — like jobs/wall_s, never fingerprinted. *)
+      let m = t.meta.(i) in
+      Format.fprintf ppf ",\"wall_s\":%.3f,\"attempts\":%d,\"replayed\":%b}"
+        m.wall_s m.attempts m.replayed)
     t.cells;
   Format.fprintf ppf "],\"summary\":{";
   (match t.total with
@@ -495,9 +745,23 @@ let pp_json ppf t =
       Format.fprintf ppf "{\"class\":\"%s\",\"latency\":%a}"
         (Spec.Op_kind.to_string k) pp_json_summary s)
     t.by_kind;
+  let retries =
+    Array.fold_left
+      (fun acc m -> if m.attempts > 1 then acc + m.attempts - 1 else acc)
+      0 t.meta
+  in
   Format.fprintf ppf
-    "],\"done\":%d,\"certified_cells\":%d,\"failed\":%d,\"skipped\":%d},\"jobs\":%d,\"wall_s\":%.3f,\"certified\":%b}"
-    done_ cert failed skipped t.jobs t.wall_s (certified t)
+    "],\"done\":%d,\"certified_cells\":%d,\"failed\":%d,\"skipped\":%d,\"replayed\":%d,\"invalidated\":%d,\"executed\":%d,\"retries\":%d,\"interrupted\":%b,\"journal_diagnostics\":["
+    done_ cert failed skipped t.resume.replayed t.resume.invalidated
+    t.resume.executed retries t.resume.interrupted;
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "\"%s\"" (json_string d))
+    t.resume.journal_diagnostics;
+  Format.fprintf ppf
+    "]},\"jobs\":%d,\"wall_s\":%.3f,\"certified\":%b}"
+    t.jobs t.wall_s (certified t)
 
 (* ---------- robustness matrix on the pool ---------- *)
 
@@ -507,7 +771,8 @@ let pp_json ppf t =
    did), so the matrix is identical for every [jobs] count and is
    always returned in (type, case) order.  fail_fast is deliberately
    not offered: certification semantics require every cell's verdict. *)
-let robustness ?(jobs = 1) ?config ?per_proc ~model ~x ~seed types =
+let robustness ?(jobs = 1) ?should_stop ?config ?per_proc ~model ~x ~seed
+    types =
   let work =
     Array.of_list
       (List.concat_map
@@ -518,9 +783,9 @@ let robustness ?(jobs = 1) ?config ?per_proc ~model ~x ~seed types =
          types)
   in
   let results, _ =
-    Pool.map ~jobs ~fail_fast:false ~n:(Array.length work)
+    Pool.map ?should_stop ~jobs ~fail_fast:false ~n:(Array.length work)
       ~init:(fun () -> ())
-      ~f:(fun () i ->
+      (fun () i ->
         let dt, case = work.(i) in
         let (module T : Spec.Data_type.S) = Packed_type.modl dt in
         let module M = Core.Robustness.Make (T) in

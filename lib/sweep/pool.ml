@@ -12,7 +12,9 @@
    raises a shared stop flag; workers re-check the flag before claiming
    the next index, so in-flight cells complete and are reported while
    unclaimed cells are left [Skipped] — a prompt stop with no lost
-   reports.
+   reports.  [should_stop] is the same mechanism driven from outside
+   (SIGINT, a deadline, a test harness): polled before each claim, so a
+   stop request drains in-flight cells and never loses a report.
 
    Determinism: a worker's behaviour depends only on the index it
    claims (callers derive any randomness from the cell's coordinates,
@@ -25,16 +27,19 @@ type 'a outcome = Done of 'a | Failed of string | Skipped
 
 let outcome_ok = function Done _ -> true | Failed _ | Skipped -> false
 
-let map (type l r) ~jobs ~fail_fast ~n ~(init : unit -> l)
-    ~(f : l -> int -> (r, string) result) : r outcome array * l list =
+let map (type l r) ?should_stop ~jobs ~fail_fast ~n ~(init : unit -> l)
+    (f : l -> int -> (r, string) result) : r outcome array * l list =
   let jobs = if jobs < 1 then 1 else jobs in
+  let externally_stopped =
+    match should_stop with None -> fun () -> false | Some f -> f
+  in
   let results = Array.make n Skipped in
   let next = Atomic.make 0 in
   let stop = Atomic.make false in
   let worker () =
     let local = init () in
     let rec loop () =
-      if not (Atomic.get stop) then begin
+      if (not (Atomic.get stop)) && not (externally_stopped ()) then begin
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (match f local i with
@@ -56,3 +61,28 @@ let map (type l r) ~jobs ~fail_fast ~n ~(init : unit -> l)
   else
     let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
     (results, Array.to_list (Array.map Domain.join domains))
+
+(* Process-wide graceful-shutdown flag wired to SIGINT/SIGTERM.
+
+   The handler only flips an atomic — safe from a signal context — and
+   then restores the default disposition so a second signal kills the
+   process the usual way (an escape hatch if draining wedges).  Pool
+   workers observe the flag through [should_stop]; the campaign layer
+   flushes its journal and exits nonzero with a resume hint. *)
+module Interrupt = struct
+  let flag = Atomic.make false
+  let requested () = Atomic.get flag
+  let request () = Atomic.set flag true
+  let reset () = Atomic.set flag false
+
+  let install () =
+    let handle signal (_ : int) =
+      Atomic.set flag true;
+      try Sys.set_signal signal Sys.Signal_default with _ -> ()
+    in
+    List.iter
+      (fun signal ->
+        try Sys.set_signal signal (Sys.Signal_handle (handle signal))
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+end

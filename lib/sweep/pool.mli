@@ -10,6 +10,9 @@
     the exception's rendering.  Under [fail_fast], the first failure
     stops the pool promptly — in-flight cells complete and keep their
     outcome, unclaimed cells are left [Skipped]; no report is lost.
+    [should_stop] (default: never) is polled before each claim and
+    stops the pool the same graceful way, for external cancellation
+    (SIGINT, deadlines, tests).
 
     [f]'s behaviour must depend only on its index (derive randomness
     from the work item's coordinates, never from [Domain.self ()]); the
@@ -20,10 +23,27 @@ type 'a outcome = Done of 'a | Failed of string | Skipped
 val outcome_ok : 'a outcome -> bool
 
 val map :
+  ?should_stop:(unit -> bool) ->
   jobs:int ->
   fail_fast:bool ->
   n:int ->
   init:(unit -> 'l) ->
-  f:('l -> int -> ('r, string) result) ->
+  ('l -> int -> ('r, string) result) ->
   'r outcome array * 'l list
-(** The locals list has one entry per domain, in domain order. *)
+(** The locals list has one entry per domain, in domain order.
+    (The worker function is positional so the optional [should_stop]
+    stays erasable.) *)
+
+(** Process-wide graceful-shutdown flag wired to SIGINT/SIGTERM.
+
+    {!install} registers handlers that flip an atomic flag (readable
+    via {!requested}, suitable as [should_stop]) and then restore the
+    default disposition, so a second signal force-kills the process.
+    {!request} raises the flag programmatically; {!reset} clears it
+    (tests). *)
+module Interrupt : sig
+  val install : unit -> unit
+  val requested : unit -> bool
+  val request : unit -> unit
+  val reset : unit -> unit
+end

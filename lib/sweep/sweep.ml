@@ -1,3 +1,6 @@
 module Pool = Pool
 module Packed_type = Packed_type
+module Journal = Journal
+module Lease = Lease
+module Spool = Spool
 include Engine

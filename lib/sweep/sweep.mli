@@ -18,6 +18,12 @@
 module Pool = Pool
 module Packed_type = Packed_type
 
+module Journal = Journal
+(** Checksummed append-only checkpoint journal (durable campaigns). *)
+
+module Lease = Lease
+(** link(2)-based filesystem leases with heartbeats (spool workers). *)
+
 (** {1 Grid axes} *)
 
 (** Algorithm axis.  Wtlw's tradeoff parameter is a fraction of
@@ -122,16 +128,61 @@ type verdict = {
           for recovered legs *)
 }
 
-val eval : grid -> cell -> (verdict, string) result
+val eval : ?wall_budget_s:float -> grid -> cell -> (verdict, string) result
 (** Evaluate one cell.  [Error] carries a named diagnostic: the
-    checker's node budget was exceeded, or the configuration was
-    rejected ([Invalid_argument]). *)
+    checker's node budget was exceeded ([Node_budget_exceeded]), the
+    per-cell wall budget expired ([Cell_timeout] — set
+    [wall_budget_s]; 0.0 expires deterministically on the first
+    simulation event), or the configuration was rejected
+    ([Invalid_argument]). *)
+
+(** Bounded retry for wedged cells: up to [attempts] evaluations, the
+    wall budget multiplied by [backoff] after each timeout.
+    Non-timeout failures are deterministic and never retried. *)
+type retry = { attempts : int; budget_s : float; backoff : float }
+
+val cell_timed_out : string -> bool
+(** Whether a cell diagnostic is a [Cell_timeout]. *)
+
+val eval_with_retry :
+  ?retry:retry -> grid -> cell -> (verdict, string) result * int
+(** Evaluate under the retry policy (no policy: one plain {!eval});
+    also returns the number of attempts spent. *)
+
+val code_digest : unit -> string
+(** MD5 of the running binary (lazily computed once): folded into
+    input fingerprints so a rebuild invalidates journaled results. *)
+
+val input_fingerprint : ?code_fp:string -> grid -> cell -> int
+(** FNV-1a over the cell key plus everything else that shapes its
+    result: grid budgets, checker, compiler version, and a digest of
+    the running binary ([code_fp] overrides the digest — tests).  A
+    journaled cell is replayed only while this fingerprint still
+    matches; recompiling therefore invalidates cells individually. *)
+
+val journal_header : unit -> string
+(** Header fingerprint for sweep cell journals (schema + compiler). *)
+
+(** Per-cell observability, excluded from {!fingerprint} exactly like
+    [jobs]/[wall_s]: replayed cells carry zero wall time/attempts. *)
+type cell_meta = { wall_s : float; attempts : int; replayed : bool }
+
+(** How a campaign's cells were answered. *)
+type resume_stats = {
+  replayed : int;  (** cells answered from the journal *)
+  invalidated : int;  (** journaled cells re-run because inputs changed *)
+  executed : int;  (** cells evaluated in this process *)
+  interrupted : bool;  (** a stop request drained the pool early *)
+  journal_diagnostics : string list;
+      (** named corruption/truncation findings from journal loading *)
+}
 
 (** Campaign result. *)
 type t = {
   grid : grid;
   cells : cell array;
   results : verdict Pool.outcome array;  (** positional, same order *)
+  meta : cell_meta array;  (** positional, same order *)
   total : Core.Metrics.summary option;
       (** merged latency summary over every completed cell *)
   hist : Core.Metrics.Hist.t;
@@ -140,16 +191,49 @@ type t = {
           partition-independent *)
   by_kind : (Spec.Op_kind.t * Core.Metrics.summary) list;
       (** merged per-class summaries, sorted by class name *)
+  resume : resume_stats;
   jobs : int;
   wall_s : float;
 }
 
-val run : ?jobs:int -> ?fail_fast:bool -> grid -> t
+val run :
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  ?retry:retry ->
+  ?should_stop:(unit -> bool) ->
+  grid ->
+  t
 (** Evaluate the whole grid on [jobs] domains (default 1 = inline).
     Per-domain streaming accumulators are merged at the barrier.  With
     [fail_fast] the first failed cell cancels unclaimed cells
     (reported as [Skipped]); in-flight cells still complete and no
-    verdict is lost. *)
+    verdict is lost.  [should_stop] (e.g. [Pool.Interrupt.requested])
+    drains the pool the same graceful way and marks the campaign
+    [resume.interrupted].  [retry] applies the per-cell wall budget
+    with bounded backoff. *)
+
+val run_durable :
+  ?jobs:int ->
+  ?fail_fast:bool ->
+  ?retry:retry ->
+  ?should_stop:(unit -> bool) ->
+  ?sync_every:int ->
+  ?replay_failures:bool ->
+  ?code_fp:string ->
+  dir:string ->
+  grid ->
+  t
+(** {!run}, checkpointed: every completed cell (verdict or diagnostic)
+    is appended to [dir]/journal — keyed by {!cell_key}, fingerprinted
+    by {!input_fingerprint}, checksummed, and fsync'd every
+    [sync_every] records (default 1) — and cells already journaled
+    with a matching input fingerprint are replayed instead of re-run.
+    Because summary merging is exact, the resumed campaign's
+    {!fingerprint} is byte-identical to an uninterrupted run's.  A
+    corrupt or torn journal tail is reported in
+    [resume.journal_diagnostics] and truncated, never fatal.
+    [replay_failures] (default true) also replays journaled
+    diagnostics; pass false to re-run previously failed cells. *)
 
 val certified : t -> bool
 (** Non-empty, and every cell completed with [verdict.certified]. *)
@@ -168,10 +252,61 @@ val pp_json : Format.formatter -> t -> unit
     summaries, worst observed latency vs the bound formula, aggregate
     certification. *)
 
+(** {1 Shared-spool worker mode}
+
+    N processes split one campaign: each claims cells from a spool
+    directory via {!Lease} (atomic claims, heartbeats, stale-lease
+    takeover), journals results durably, and marks them done; a final
+    {!Spool.merge} assembles the same byte-identical {!fingerprint} a
+    single-process run produces. *)
+module Spool : sig
+  val init : dir:string -> grid -> (unit, string) result
+  (** Create the spool layout ([MANIFEST], [leases/], [journals/],
+      [done/]) or validate an existing one; [Error] if [dir] already
+      holds a different campaign. *)
+
+  val status : dir:string -> grid -> (int * int, string) result
+  (** [(done_cells, total_cells)]. *)
+
+  type worker_report = {
+    worker : string;
+    completed : int;  (** cells this worker evaluated and journaled *)
+    failed : int;  (** of those, cells that produced a diagnostic *)
+    takeovers : int;  (** stale leases evicted *)
+    interrupted : bool;
+  }
+
+  val worker :
+    ?worker_id:string ->
+    ?retry:retry ->
+    ?should_stop:(unit -> bool) ->
+    ?sync_every:int ->
+    ?lease_ttl_s:float ->
+    ?poll_s:float ->
+    ?code_fp:string ->
+    dir:string ->
+    grid ->
+    (worker_report, string) result
+  (** Claim, evaluate, journal and mark cells until every cell of the
+      campaign is done (polling every [poll_s] while other workers
+      hold the remainder) or [should_stop] fires.  [worker_id]
+      defaults to host-pid; it names the lease owner and the worker's
+      journal.  A lease not heartbeated for [lease_ttl_s] (default
+      60 s) is presumed dead and taken over — safe because cells are
+      deterministic and journal replay is last-record-wins. *)
+
+  val merge : ?code_fp:string -> dir:string -> grid -> (t, string) result
+  (** Load every worker journal and assemble the campaign through the
+      same exact-merge executor a single process uses; [Error] while
+      any cell is missing (or journaled with a stale input
+      fingerprint). *)
+end
+
 (** {1 Robustness matrix} *)
 
 val robustness :
   ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
   ?config:Core.Reliable.config ->
   ?per_proc:int ->
   model:Sim.Model.t ->

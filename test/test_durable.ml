@@ -1,0 +1,457 @@
+(* Tests for durable campaigns: the checksummed checkpoint journal
+   (torn tails and flipped bytes cost at most one record), crash-safe
+   resume with byte-identical fingerprints at every interruption
+   point, input-fingerprint invalidation, the per-cell wall budget's
+   named Cell_timeout diagnostic with bounded retry, and the
+   shared-spool worker protocol (lease takeover from a dead worker,
+   multi-worker split, merge equivalence). *)
+
+let packed key =
+  match Sweep.Packed_type.find key with
+  | Some pt -> pt
+  | None -> Alcotest.failf "unknown packed type %s" key
+
+let contains haystack needle =
+  let nlen = String.length needle and hlen = String.length haystack in
+  let rec at i =
+    i + nlen <= hlen && (String.sub haystack i nlen = needle || at (i + 1))
+  in
+  at 0
+
+let temp_dir =
+  let counter = ref 0 in
+  fun prefix ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter)
+    in
+    Sweep.Journal.mkdir_p dir;
+    dir
+
+(* 12 cells: one type x 3 algorithms x 2 points x raw/recovered. *)
+let small_grid = { Sweep.default_grid with types = [ packed "queue" ] }
+let n_cells = List.length (Sweep.cells small_grid)
+
+(* One cell, for the timeout/retry tests. *)
+let one_cell_grid =
+  {
+    small_grid with
+    algos = [ Sweep.Tob ];
+    points = [ List.hd Sweep.default_points ];
+    legs = [ Sweep.Raw ];
+  }
+
+(* Deterministic interruption: the pool polls [should_stop] exactly
+   once per claim when [jobs = 1], so this closure stops the campaign
+   after [j] cells have been claimed. *)
+let stop_after j =
+  let calls = ref 0 in
+  fun () ->
+    incr calls;
+    !calls > j
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+(* ---------------- journal framing ---------------- *)
+
+let test_journal_roundtrip () =
+  let dir = temp_dir "journal-rt" in
+  let path = Filename.concat dir "j" in
+  let w = Sweep.Journal.writer ~path ~fp:"test-journal 1" () in
+  for i = 0 to 9 do
+    Sweep.Journal.append w ~key:(string_of_int i) ~input_fp:(i * 7)
+      (i, Printf.sprintf "payload-%d" i)
+  done;
+  Sweep.Journal.close w;
+  let records, diags = Sweep.Journal.load ~path ~fp:"test-journal 1" in
+  Alcotest.(check int) "no diagnostics" 0 (List.length diags);
+  Alcotest.(check int) "all records back" 10 (List.length records);
+  List.iteri
+    (fun i (r : _ Sweep.Journal.record) ->
+      Alcotest.(check string) "key" (string_of_int i) r.Sweep.Journal.key;
+      Alcotest.(check int) "input_fp" (i * 7) r.Sweep.Journal.input_fp;
+      Alcotest.(check (pair int string))
+        "payload"
+        (i, Printf.sprintf "payload-%d" i)
+        r.Sweep.Journal.payload)
+    records
+
+let test_journal_torn_tail () =
+  let dir = temp_dir "journal-torn" in
+  let path = Filename.concat dir "j" in
+  let w = Sweep.Journal.writer ~path ~fp:"test-journal 1" () in
+  for i = 0 to 4 do
+    Sweep.Journal.append w ~key:(string_of_int i) ~input_fp:i i
+  done;
+  Sweep.Journal.close w;
+  (* Tear the last record mid-frame, as a crash mid-append would. *)
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (file_size path - 3);
+  Unix.close fd;
+  let records, diags = Sweep.Journal.load ~path ~fp:"test-journal 1" in
+  Alcotest.(check int) "valid prefix survives" 4 (List.length records);
+  Alcotest.(check int) "one named diagnostic" 1 (List.length diags);
+  (* Reopening for append truncates the torn record 4, so the next
+     append lands right after the valid prefix instead of being
+     shadowed by garbage. *)
+  let w = Sweep.Journal.writer ~path ~fp:"test-journal 1" () in
+  Sweep.Journal.append w ~key:"5" ~input_fp:5 5;
+  Sweep.Journal.close w;
+  let records, diags = Sweep.Journal.load ~path ~fp:"test-journal 1" in
+  Alcotest.(check int) "healed: no diagnostics" 0 (List.length diags);
+  Alcotest.(check (list int))
+    "valid prefix + fresh append, torn record gone" [ 0; 1; 2; 3; 5 ]
+    (List.map (fun (r : _ Sweep.Journal.record) -> r.Sweep.Journal.payload)
+       records)
+
+let test_journal_flipped_byte () =
+  let dir = temp_dir "journal-flip" in
+  let path = Filename.concat dir "j" in
+  let w = Sweep.Journal.writer ~path ~fp:"test-journal 1" () in
+  for i = 0 to 2 do
+    Sweep.Journal.append w ~key:(string_of_int i) ~input_fp:i i
+  done;
+  Sweep.Journal.close w;
+  (* Flip a byte in the last record's payload: the checksum must catch
+     it and the scan must keep the records before it. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let pos = file_size path - 1 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let records, diags = Sweep.Journal.load ~path ~fp:"test-journal 1" in
+  Alcotest.(check int) "records before the flip survive" 2
+    (List.length records);
+  match diags with
+  | [ d ] ->
+      Alcotest.(check bool) "diagnostic names the checksum" true
+        (contains (Sweep.Journal.diagnostic_to_string d) "checksum")
+  | _ -> Alcotest.fail "expected exactly one diagnostic"
+
+let test_journal_header_mismatch () =
+  let dir = temp_dir "journal-hdr" in
+  let path = Filename.concat dir "j" in
+  let w = Sweep.Journal.writer ~path ~fp:"schema A" () in
+  Sweep.Journal.append w ~key:"k" ~input_fp:0 0;
+  Sweep.Journal.close w;
+  let records, diags = Sweep.Journal.load ~path ~fp:"schema B" in
+  Alcotest.(check int) "no records across schemas" 0 (List.length records);
+  Alcotest.(check int) "header mismatch reported" 1 (List.length diags)
+
+(* ---------------- durable resume ---------------- *)
+
+let fresh_fingerprint = lazy (Sweep.fingerprint (Sweep.run small_grid))
+
+(* Interrupt a durable campaign after [j] cells, optionally tear the
+   journal tail (as a crash mid-append would), resume, and require the
+   resumed fingerprint to be byte-identical to an uninterrupted
+   run's. *)
+let interrupted_resume_identical ~tear j =
+  let dir = temp_dir "resume" in
+  let t1 =
+    Sweep.run_durable ~should_stop:(stop_after j) ~code_fp:"T" ~dir small_grid
+  in
+  if not t1.Sweep.resume.Sweep.interrupted then
+    Alcotest.fail "campaign should report the interruption";
+  let path = Filename.concat dir "journal" in
+  if tear && file_size path > 40 then begin
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd (file_size path - 5);
+    Unix.close fd
+  end;
+  let t2 = Sweep.run_durable ~code_fp:"T" ~dir small_grid in
+  if t2.Sweep.resume.Sweep.interrupted then
+    Alcotest.fail "resumed campaign should complete";
+  if tear && t2.Sweep.resume.Sweep.journal_diagnostics = [] then
+    Alcotest.fail "torn tail should surface a journal diagnostic";
+  Alcotest.(check int) "every cell answered" n_cells
+    (t2.Sweep.resume.Sweep.replayed + t2.Sweep.resume.Sweep.executed);
+  String.equal (Lazy.force fresh_fingerprint) (Sweep.fingerprint t2)
+
+let prop_resume_any_boundary =
+  QCheck.Test.make ~name:"resume at any cell boundary is byte-identical"
+    ~count:10
+    QCheck.(pair (int_range 1 (n_cells - 1)) bool)
+    (fun (j, tear) -> interrupted_resume_identical ~tear j)
+
+let test_resume_complete_journal () =
+  let dir = temp_dir "resume-full" in
+  let t1 = Sweep.run_durable ~code_fp:"T" ~dir small_grid in
+  let t2 = Sweep.run_durable ~code_fp:"T" ~dir small_grid in
+  Alcotest.(check int) "everything replayed" n_cells
+    t2.Sweep.resume.Sweep.replayed;
+  Alcotest.(check int) "nothing re-executed" 0 t2.Sweep.resume.Sweep.executed;
+  Alcotest.(check string) "fingerprint preserved" (Sweep.fingerprint t1)
+    (Sweep.fingerprint t2)
+
+let test_resume_invalidates_on_code_change () =
+  let dir = temp_dir "resume-inval" in
+  let t1 = Sweep.run_durable ~code_fp:"build-A" ~dir small_grid in
+  let t2 = Sweep.run_durable ~code_fp:"build-B" ~dir small_grid in
+  Alcotest.(check int) "nothing replayed across builds" 0
+    t2.Sweep.resume.Sweep.replayed;
+  Alcotest.(check int) "stale cells counted" n_cells
+    t2.Sweep.resume.Sweep.invalidated;
+  Alcotest.(check int) "everything re-executed" n_cells
+    t2.Sweep.resume.Sweep.executed;
+  Alcotest.(check string) "verdicts unchanged" (Sweep.fingerprint t1)
+    (Sweep.fingerprint t2);
+  (* A third run on build B replays what the second journaled. *)
+  let t3 = Sweep.run_durable ~code_fp:"build-B" ~dir small_grid in
+  Alcotest.(check int) "new build's records replay" n_cells
+    t3.Sweep.resume.Sweep.replayed
+
+let test_failures_replayed_and_rerun () =
+  (* A grid whose cells all fail (one-node Wing-Gong budget): the
+     diagnostics must journal and replay like verdicts — merge
+     fingerprints depend on it — unless the caller asks to re-run. *)
+  let grid =
+    {
+      small_grid with
+      max_check_nodes = Some 1;
+      checker = Core.Runtime.Wing_gong;
+    }
+  in
+  let dir = temp_dir "resume-fail" in
+  let t1 = Sweep.run_durable ~code_fp:"T" ~dir grid in
+  let _, _, failed, _ = Sweep.counts t1 in
+  Alcotest.(check int) "every cell failed" n_cells failed;
+  let t2 = Sweep.run_durable ~code_fp:"T" ~dir grid in
+  Alcotest.(check int) "failures replayed" n_cells
+    t2.Sweep.resume.Sweep.replayed;
+  Alcotest.(check string) "fingerprint preserved" (Sweep.fingerprint t1)
+    (Sweep.fingerprint t2);
+  let t3 = Sweep.run_durable ~replay_failures:false ~code_fp:"T" ~dir grid in
+  Alcotest.(check int) "--rerun-failed executes them again" n_cells
+    t3.Sweep.resume.Sweep.executed
+
+(* ---------------- per-cell wall budget ---------------- *)
+
+let test_cell_timeout_diagnostic () =
+  let cell = List.hd (Sweep.cells one_cell_grid) in
+  match Sweep.eval ~wall_budget_s:0.0 one_cell_grid cell with
+  | Ok _ -> Alcotest.fail "a zero budget must expire"
+  | Error msg ->
+      Alcotest.(check bool) "named Cell_timeout" true
+        (contains msg "Cell_timeout");
+      Alcotest.(check bool) "recognized by the classifier" true
+        (Sweep.cell_timed_out msg);
+      Alcotest.(check bool) "names the cell" true
+        (contains msg (Sweep.cell_key one_cell_grid cell));
+      (* The message must not leak event counts or wall times: it is
+         part of the fingerprint. *)
+      let other = Sweep.eval ~wall_budget_s:0.0 one_cell_grid cell in
+      Alcotest.(check bool) "diagnostic is deterministic" true
+        (other = Error msg)
+
+let test_timeout_retries_then_gives_up () =
+  let retry = { Sweep.attempts = 3; budget_s = 0.0; backoff = 1.0 } in
+  let t = Sweep.run ~retry one_cell_grid in
+  let done_, _, failed, _ = Sweep.counts t in
+  Alcotest.(check int) "the wedged cell fails, nothing hangs" 1 failed;
+  Alcotest.(check int) "no completions" 0 done_;
+  Alcotest.(check int) "all attempts spent" 3 t.Sweep.meta.(0).Sweep.attempts;
+  (match t.Sweep.results.(0) with
+  | Sweep.Pool.Failed msg ->
+      Alcotest.(check bool) "diagnostic records the surrender" true
+        (contains msg "gave up after 3 attempts")
+  | _ -> Alcotest.fail "expected a failed cell");
+  Alcotest.(check bool) "campaign itself completed" false
+    t.Sweep.resume.Sweep.interrupted
+
+let test_generous_budget_certifies () =
+  (* A generous budget never fires, so the verdicts — and the
+     fingerprint — are those of an unbudgeted run. *)
+  let retry = { Sweep.attempts = 2; budget_s = 3600.0; backoff = 2.0 } in
+  let t = Sweep.run ~retry small_grid in
+  Alcotest.(check bool) "certified" true (Sweep.certified t);
+  Alcotest.(check string) "fingerprint unaffected by the budget"
+    (Lazy.force fresh_fingerprint) (Sweep.fingerprint t)
+
+(* ---------------- leases and the spool ---------------- *)
+
+let test_lease_claim_and_takeover () =
+  let dir = temp_dir "leases" in
+  (match Sweep.Lease.claim ~dir ~owner:"alive" ~ttl_s:60.0 "c0" with
+  | Sweep.Lease.Acquired _ -> ()
+  | _ -> Alcotest.fail "first claim should acquire");
+  (match Sweep.Lease.claim ~dir ~owner:"rival" ~ttl_s:60.0 "c0" with
+  | Sweep.Lease.Held -> ()
+  | _ -> Alcotest.fail "live lease should be held against a rival");
+  Sweep.Lease.backdate ~dir ~age_s:3600.0 "c0";
+  match Sweep.Lease.claim ~dir ~owner:"rival" ~ttl_s:60.0 "c0" with
+  | Sweep.Lease.Taken_over lease ->
+      Alcotest.(check string) "new owner" "rival" (Sweep.Lease.owner lease);
+      Sweep.Lease.release lease
+  | _ -> Alcotest.fail "stale lease should be taken over"
+
+let test_spool_rejects_other_grid () =
+  let dir = temp_dir "spool-grid" in
+  (match Sweep.Spool.init ~dir small_grid with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "init failed: %s" msg);
+  match Sweep.Spool.init ~dir one_cell_grid with
+  | Error msg ->
+      Alcotest.(check bool) "names the conflict" true
+        (contains msg "different campaign")
+  | Ok () -> Alcotest.fail "a different grid must not share the spool"
+
+let test_spool_single_worker_merge_identical () =
+  let dir = temp_dir "spool-one" in
+  (match
+     Sweep.Spool.worker ~worker_id:"w0" ~code_fp:"T" ~dir small_grid
+   with
+  | Error msg -> Alcotest.failf "worker failed: %s" msg
+  | Ok r ->
+      Alcotest.(check int) "worker ran every cell" n_cells
+        r.Sweep.Spool.completed;
+      Alcotest.(check bool) "not interrupted" false r.Sweep.Spool.interrupted);
+  (match Sweep.Spool.status ~dir small_grid with
+  | Ok (d, n) ->
+      Alcotest.(check (pair int int)) "all done" (n_cells, n_cells) (d, n)
+  | Error msg -> Alcotest.failf "status failed: %s" msg);
+  match Sweep.Spool.merge ~code_fp:"T" ~dir small_grid with
+  | Error msg -> Alcotest.failf "merge failed: %s" msg
+  | Ok t ->
+      Alcotest.(check string) "merge is byte-identical to a plain run"
+        (Lazy.force fresh_fingerprint) (Sweep.fingerprint t)
+
+let test_spool_two_workers_split_merge_identical () =
+  let dir = temp_dir "spool-two" in
+  (* Worker a stops partway; worker b finishes the campaign. *)
+  (match
+     Sweep.Spool.worker ~worker_id:"a" ~should_stop:(stop_after 5) ~code_fp:"T"
+       ~dir small_grid
+   with
+  | Error msg -> Alcotest.failf "worker a failed: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "worker a interrupted" true
+        r.Sweep.Spool.interrupted;
+      Alcotest.(check bool) "worker a did some cells" true
+        (r.Sweep.Spool.completed > 0 && r.Sweep.Spool.completed < n_cells));
+  (* Merge while cells are missing must refuse, not fabricate. *)
+  (match Sweep.Spool.merge ~code_fp:"T" ~dir small_grid with
+  | Error msg ->
+      Alcotest.(check bool) "partial merge names the gap" true
+        (contains msg "not yet journaled")
+  | Ok _ -> Alcotest.fail "merge must fail while cells are missing");
+  (match Sweep.Spool.worker ~worker_id:"b" ~code_fp:"T" ~dir small_grid with
+  | Error msg -> Alcotest.failf "worker b failed: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "worker b finished the rest" true
+        (r.Sweep.Spool.completed > 0 && not r.Sweep.Spool.interrupted));
+  match Sweep.Spool.merge ~code_fp:"T" ~dir small_grid with
+  | Error msg -> Alcotest.failf "merge failed: %s" msg
+  | Ok t ->
+      Alcotest.(check string) "split campaign merges byte-identically"
+        (Lazy.force fresh_fingerprint) (Sweep.fingerprint t)
+
+let test_spool_takeover_from_dead_worker () =
+  let dir = temp_dir "spool-dead" in
+  (match Sweep.Spool.init ~dir small_grid with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "init failed: %s" msg);
+  (* Simulate a worker that claimed a cell and died: its lease exists,
+     heartbeat long stale, no done marker. *)
+  let leases = Filename.concat dir "leases" in
+  (match Sweep.Lease.claim ~dir:leases ~owner:"dead" ~ttl_s:60.0 "c000000" with
+  | Sweep.Lease.Acquired _ -> ()
+  | _ -> Alcotest.fail "dead worker's claim should acquire");
+  Sweep.Lease.backdate ~dir:leases ~age_s:3600.0 "c000000";
+  (match
+     Sweep.Spool.worker ~worker_id:"live" ~lease_ttl_s:60.0 ~code_fp:"T" ~dir
+       small_grid
+   with
+  | Error msg -> Alcotest.failf "worker failed: %s" msg
+  | Ok r ->
+      Alcotest.(check bool) "stale lease evicted" true
+        (r.Sweep.Spool.takeovers >= 1);
+      Alcotest.(check int) "every cell recovered" n_cells
+        r.Sweep.Spool.completed);
+  match Sweep.Spool.merge ~code_fp:"T" ~dir small_grid with
+  | Error msg -> Alcotest.failf "merge failed: %s" msg
+  | Ok t ->
+      Alcotest.(check string) "recovered campaign byte-identical"
+        (Lazy.force fresh_fingerprint) (Sweep.fingerprint t)
+
+(* ---------------- shard journal resume ---------------- *)
+
+let shard_cfg =
+  Shard.Config.make ~shards:4 ~ops:400 ~keys:16
+    ~arrival:(Core.Workload.Poisson { rate = Rat.one })
+    ~model:(Sim.Model.make ~n:3 ~d:(Rat.of_int 10) ~u:(Rat.of_int 4)
+              ~eps:Rat.one)
+    ~algorithm:Core.Runtime.Centralized ()
+
+let test_shard_resume_identical () =
+  let pt = packed "counter" in
+  let fresh = Shard.run shard_cfg pt in
+  let dir = temp_dir "shard-resume" in
+  let t1 =
+    Shard.run ~should_stop:(stop_after 2) ~journal_dir:dir ~code_fp:"T"
+      shard_cfg pt
+  in
+  Alcotest.(check bool) "interrupted" true t1.Shard.interrupted;
+  let t2 = Shard.run ~journal_dir:dir ~code_fp:"T" shard_cfg pt in
+  Alcotest.(check bool) "resume completes" false t2.Shard.interrupted;
+  Alcotest.(check bool) "some shards replayed" true (t2.Shard.replayed > 0);
+  Alcotest.(check string) "fingerprint byte-identical to a fresh run"
+    (Shard.fingerprint fresh) (Shard.fingerprint t2)
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail truncated, prefix kept" `Quick
+            test_journal_torn_tail;
+          Alcotest.test_case "flipped byte caught by checksum" `Quick
+            test_journal_flipped_byte;
+          Alcotest.test_case "header mismatch is a fresh journal" `Quick
+            test_journal_header_mismatch;
+        ] );
+      ( "resume",
+        [
+          QCheck_alcotest.to_alcotest prop_resume_any_boundary;
+          Alcotest.test_case "complete journal replays everything" `Quick
+            test_resume_complete_journal;
+          Alcotest.test_case "code change invalidates per cell" `Quick
+            test_resume_invalidates_on_code_change;
+          Alcotest.test_case "failures replay unless rerun requested" `Quick
+            test_failures_replayed_and_rerun;
+        ] );
+      ( "timeout",
+        [
+          Alcotest.test_case "zero budget raises a named Cell_timeout" `Quick
+            test_cell_timeout_diagnostic;
+          Alcotest.test_case "bounded retry then surrender" `Quick
+            test_timeout_retries_then_gives_up;
+          Alcotest.test_case "generous budget leaves verdicts alone" `Quick
+            test_generous_budget_certifies;
+        ] );
+      ( "spool",
+        [
+          Alcotest.test_case "lease claim, hold, stale takeover" `Quick
+            test_lease_claim_and_takeover;
+          Alcotest.test_case "spool rejects a different grid" `Quick
+            test_spool_rejects_other_grid;
+          Alcotest.test_case "single worker + merge byte-identical" `Quick
+            test_spool_single_worker_merge_identical;
+          Alcotest.test_case "two-worker split merges byte-identically" `Quick
+            test_spool_two_workers_split_merge_identical;
+          Alcotest.test_case "dead worker's cell recovered by takeover" `Quick
+            test_spool_takeover_from_dead_worker;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "interrupted load resumes byte-identically"
+            `Quick test_shard_resume_identical;
+        ] );
+    ]
