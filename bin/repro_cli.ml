@@ -12,139 +12,13 @@
      repro faults      — run the fault-injection robustness matrix
      repro bench       — run the deterministic perf suite / regression gate
      repro finding     — demonstrate the accessor-wait counterexample
+     repro scenario    — run/generate/shrink declarative scenario files
 
-   All durations are exact rationals, written as "3", "7/2", ... *)
+   All durations are exact rationals, written as "3", "7/2", ...
+   Shared flag definitions live in [Cli_common]. *)
 
 open Cmdliner
-
-(* ---------------- argument parsing helpers ---------------- *)
-
-let parse_rat s =
-  match String.index_opt s '/' with
-  | None -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n -> Ok (Rat.of_int n)
-      | None -> Error (Printf.sprintf "not a rational: %S" s))
-  | Some i -> (
-      let num = String.sub s 0 i in
-      let den = String.sub s (i + 1) (String.length s - i - 1) in
-      match (int_of_string_opt num, int_of_string_opt den) with
-      | Some n, Some d when d <> 0 -> Ok (Rat.make n d)
-      | _ -> Error (Printf.sprintf "not a rational: %S" s))
-
-let rat_conv =
-  let parse s =
-    match parse_rat s with Ok r -> Ok r | Error msg -> Error (`Msg msg)
-  in
-  Arg.conv (parse, Rat.pp)
-
-let n_arg =
-  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
-
-let d_arg =
-  Arg.(
-    value
-    & opt rat_conv (Rat.of_int 12)
-    & info [ "d" ] ~docv:"D" ~doc:"Maximum message delay.")
-
-let u_arg =
-  Arg.(
-    value
-    & opt rat_conv (Rat.of_int 4)
-    & info [ "u" ] ~docv:"U" ~doc:"Delay uncertainty (delays in [d-u, d]).")
-
-let eps_arg =
-  Arg.(
-    value
-    & opt (some rat_conv) None
-    & info [ "eps" ] ~docv:"EPS"
-        ~doc:"Clock skew bound; defaults to the optimal (1-1/n)u.")
-
-let x_arg =
-  Arg.(
-    value
-    & opt (some rat_conv) None
-    & info [ "x" ] ~docv:"X"
-        ~doc:
-          "Algorithm 1's tradeoff parameter in [0, d-eps]; defaults to \
-           (d-eps)/2.")
-
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-
-let ops_arg =
-  Arg.(
-    value & opt int 10
-    & info [ "ops" ] ~docv:"K" ~doc:"Operations per process (closed loop).")
-
-(* Every bundled type, dispatched through its first-class packing — no
-   per-command match arms over a type enum. *)
-let all_types =
-  List.map (fun pt -> (Sweep.Packed_type.key pt, pt)) Sweep.Packed_type.all
-
-let packed_queue = Option.get (Sweep.Packed_type.find "queue")
-
-let type_arg =
-  Arg.(
-    value
-    & opt (enum all_types) packed_queue
-    & info [ "type"; "t" ] ~docv:"TYPE"
-        ~doc:
-          (Printf.sprintf "Data type: one of %s."
-             (String.concat ", " Sweep.Packed_type.keys)))
-
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Evaluate cells on N OCaml domains (1 = inline).  Verdicts are \
-           deterministic: every cell derives its RNG seed from its own \
-           coordinates, so the report is byte-identical for every N.")
-
-let no_retain_arg =
-  Arg.(
-    value & flag
-    & info [ "no-retain-events" ]
-        ~doc:
-          "Do not keep the per-message event list in memory; the report is \
-           built entirely from the trace's streaming sinks (O(operations) \
-           instead of O(events) memory) and is identical to a retained \
-           run's, including the linearizability check.")
-
-let algo_arg =
-  Arg.(
-    value
-    & opt (enum [ ("wtlw", `Wtlw); ("centralized", `Centralized); ("tob", `Tob) ])
-        `Wtlw
-    & info [ "algorithm"; "a" ] ~docv:"ALGO"
-        ~doc:"Implementation: wtlw (the paper's), centralized or tob.")
-
-let checker_arg =
-  Arg.(
-    value
-    & opt
-        (enum
-           [
-             ("monitor", Core.Runtime.Monitor);
-             ("wing-gong", Core.Runtime.Wing_gong);
-           ])
-        Core.Runtime.Monitor
-    & info [ "checker" ] ~docv:"ENGINE"
-        ~doc:
-          "Linearizability engine: $(b,monitor) (the specialized O(n log n) \
-           per-type monitors, falling back to Wing-Gong only on histories a \
-           kernel cannot certify) or $(b,wing-gong) (the exponential DFS \
-           directly).")
-
-let make_model n d u eps =
-  match eps with
-  | Some eps -> Sim.Model.make ~n ~d ~u ~eps
-  | None -> Sim.Model.make_optimal_eps ~n ~d ~u
-
-let make_x (model : Sim.Model.t) = function
-  | Some x -> x
-  | None -> Rat.div_int (Rat.sub model.d model.eps) 2
+open Cli_common
 
 (* ---------------- tables ---------------- *)
 
@@ -164,8 +38,27 @@ let tables_cmd =
 
 (* ---------------- simulate ---------------- *)
 
+(* Run one scenario through the executor and gate on its expectation;
+   the shared tail for [--scenario] on simulate and for [repro
+   scenario run]. *)
+let run_scenario_ref ref_ =
+  match load_scenario ref_ with
+  | Error msg -> `Error (false, msg)
+  | Ok s ->
+      let o = Scenario.run s in
+      Format.printf "%a@." Scenario.Exec.pp_outcome o;
+      if Scenario.Exec.passes o then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "scenario %s did not meet its expectation"
+              s.Scenario.name )
+
 let simulate_cmd =
-  let run n d u eps x algo seed ops no_retain checker pt =
+  let run n d u eps x algo seed ops no_retain checker pt scenario =
+    match scenario with
+    | Some ref_ -> run_scenario_ref ref_
+    | None ->
     let model = make_model n d u eps in
     let x = make_x model x in
     let (module T : Spec.Data_type.S) = Sweep.Packed_type.modl pt in
@@ -203,11 +96,14 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:
          "Run a closed-loop workload on a linearizable shared object and \
-          report latencies plus the machine-checked linearization.")
+          report latencies plus the machine-checked linearization.  With \
+          $(b,--scenario) the whole run description comes from a scenario \
+          file instead of the flags.")
     Term.(
       ret
         (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ algo_arg
-       $ seed_arg $ ops_arg $ no_retain_arg $ checker_arg $ type_arg))
+       $ seed_arg $ ops_arg $ no_retain_arg $ checker_arg $ type_arg
+       $ scenario_arg))
 
 (* ---------------- load ---------------- *)
 
@@ -215,32 +111,6 @@ let simulate_cmd =
    keyspace, partition it across N independent clusters, certify each
    key's projection with the per-type monitors, and report per-shard
    plus aggregate tail quantiles. *)
-
-(* Comma-separated fault plan, e.g. "drop=0.05,dup=0.01,spike=0.1";
-   "none" disables injection.  Spike margin is u+1, guaranteed to leave
-   the admissible envelope. *)
-let parse_fault_plan ~(model : Sim.Model.t) s =
-  let s = String.trim s in
-  if s = "" || s = "none" then Ok Sim.Fault.none
-  else
-    let spec part =
-      match String.split_on_char '=' (String.trim part) with
-      | [ "drop"; p ] -> Sim.Fault.drops (float_of_string p)
-      | [ "dup"; p ] -> Sim.Fault.duplicates (float_of_string p)
-      | [ "spike"; p ] ->
-          Sim.Fault.spikes
-            ~margin:(Rat.add model.u Rat.one)
-            (float_of_string p)
-      | _ -> failwith part
-    in
-    match List.map spec (String.split_on_char ',' s) with
-    | specs -> Ok (Sim.Fault.plan specs)
-    | exception _ ->
-        Error
-          (Printf.sprintf
-             "bad fault plan %S (expected e.g. \"drop=0.05,dup=0.01,spike=0.1\" \
-              or \"none\")"
-             s)
 
 let load_cmd =
   let shards_arg =
@@ -317,26 +187,7 @@ let load_cmd =
              the inflated model — the way to stay certified under message \
              drops.")
   in
-  let json_arg =
-    Arg.(
-      value & flag & info [ "json" ] ~doc:"Emit the machine-readable report.")
-  in
-  let resume_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "resume" ] ~docv:"DIR"
-          ~doc:
-            "Journal every completed shard report to $(docv)/journal and \
-             replay shards already journaled there, so an interrupted or \
-             killed run resumes with a byte-identical fingerprint.")
-  in
-  let journal_sync_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "journal-sync" ] ~docv:"N"
-          ~doc:"fsync the checkpoint journal every $(docv) records.")
-  in
+  let resume_arg = resume_arg ~unit_:"shard report" in
   let run n d u eps x algo seed jobs checker pt shards ops keys arrival rate
       period trough burst zipf faults_s reliable json resume_dir journal_sync =
     let model = make_model n d u eps in
@@ -412,7 +263,7 @@ let load_cmd =
        $ seed_arg $ jobs_arg $ checker_arg $ type_arg $ shards_arg
        $ total_ops_arg $ keys_arg $ arrival_arg $ rate_arg $ period_arg
        $ trough_arg $ burst_arg $ zipf_arg $ faults_arg $ reliable_arg
-       $ json_arg $ resume_arg $ journal_sync_arg))
+       $ json_flag $ resume_arg $ journal_sync_arg))
 
 (* ---------------- check ---------------- *)
 
@@ -450,13 +301,32 @@ let check_cmd =
              command then exits zero only if the violation is caught.")
   in
   let json_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"PATH"
-          ~doc:"Append a one-line JSON record of the verdict to $(docv).")
+    json_path_arg ~doc:"Append a one-line JSON record of the verdict to $(docv)."
   in
-  let run pt count seed checker online inject json_path =
+  let run pt count seed checker online inject json_path scenario =
+    (* A scenario pins the history's shape: its data type, seed,
+       checker and invocation count replace the individual flags. *)
+    let resolved =
+      match scenario with
+      | None -> Ok (pt, count, seed, checker)
+      | Some ref_ -> (
+          match load_scenario ref_ with
+          | Error msg -> Error msg
+          | Ok s ->
+              let pt =
+                Option.value
+                  (Sweep.Packed_type.find s.Scenario.dt)
+                  ~default:pt
+              in
+              Ok
+                ( pt,
+                  max 1 (Scenario.invocations s),
+                  s.Scenario.seed,
+                  s.Scenario.checker ))
+    in
+    match resolved with
+    | Error msg -> `Error (false, msg)
+    | Ok (pt, count, seed, checker) ->
     let (module T : Spec.Data_type.S) = Sweep.Packed_type.modl pt in
     let module M = Monitor.Make (T) in
     match Monitor.monitored_kind (module T) with
@@ -592,11 +462,12 @@ let check_cmd =
           data type and certify it with the specialized O(n log n) monitor \
           (or Wing-Gong, or the streaming online sink).  With \
           $(b,--inject-violation) the verdict must flip for the command to \
-          succeed.")
+          succeed.  With $(b,--scenario) the data type, seed, checker and \
+          operation count come from a scenario file.")
     Term.(
       ret
         (const run $ type_arg $ count_arg $ seed_arg $ checker_arg
-       $ online_arg $ inject_arg $ json_arg))
+       $ online_arg $ inject_arg $ json_arg $ scenario_arg))
 
 (* ---------------- classify ---------------- *)
 
@@ -802,12 +673,7 @@ let sync_cmd =
 (* ---------------- faults ---------------- *)
 
 let faults_cmd =
-  let json_arg =
-    Arg.(
-      value & flag
-      & info [ "json" ]
-          ~doc:"Emit the full matrix (every cell, both legs) as JSON on stdout.")
-  in
+  let json_arg = json_flag in
   let faults_type_arg =
     Arg.(
       value
@@ -817,14 +683,37 @@ let faults_cmd =
             "Run the matrix for a single data type (default: queue and \
              register).")
   in
-  let run n d u eps x seed json jobs dtype =
-    let model = make_model n d u eps in
-    let x = make_x model x in
+  let run n d u eps x seed json jobs dtype scenario =
+    (* A scenario pins the matrix's coordinates: its model point, X,
+       seed and data type replace the individual flags. *)
+    let resolved =
+      match scenario with
+      | None ->
+          let model = make_model n d u eps in
+          Ok (model, make_x model x, seed, dtype)
+      | Some ref_ -> (
+          match load_scenario ref_ with
+          | Error msg -> Error msg
+          | Ok s ->
+              let x =
+                match s.Scenario.algorithm with
+                | Scenario.Wtlw { x; _ } -> x
+                | Scenario.Centralized | Scenario.Tob ->
+                    make_x s.Scenario.model None
+              in
+              Ok
+                ( s.Scenario.model,
+                  x,
+                  s.Scenario.seed,
+                  Sweep.Packed_type.find s.Scenario.dt ))
+    in
+    match resolved with
+    | Error msg -> `Error (false, msg)
+    | Ok (model, x, seed, dtype) ->
     let targets =
       match dtype with
       | Some pt -> [ pt ]
-      | None ->
-          [ packed_queue; Option.get (Sweep.Packed_type.find "register") ]
+      | None -> [ packed_queue; packed_register ]
     in
     (* The matrix is a sweep: one pool job per (type, case) cell, with
        unchanged certification semantics and a jobs-independent
@@ -857,70 +746,22 @@ let faults_cmd =
           monitor to flag the damage) and over the ack/retransmit reliable \
           channel against the inflated model d' = d + k*rto (expect a \
           machine-checked linearizable run).  Exits nonzero unless every \
-          cell is certified.")
+          cell is certified.  With $(b,--scenario) the model point, X, seed \
+          and data type come from a scenario file.")
     Term.(
       ret
         (const run $ n_arg $ d_arg $ u_arg $ eps_arg $ x_arg $ seed_arg
-       $ json_arg $ jobs_arg $ faults_type_arg))
+       $ json_arg $ jobs_arg $ faults_type_arg $ scenario_arg))
 
 (* ---------------- sweep ---------------- *)
 
-(* Grid spec: semicolon-separated model points, each a comma-separated
-   "k=v" list, e.g. "n=3,d=10,u=4,eps=1;n=4,d=8,u=2" (eps defaults to
-   the optimal (1-1/n)u). *)
-let parse_grid_points spec =
-  let parse_point s =
-    let kvs = String.split_on_char ',' (String.trim s) in
-    let rec gather acc = function
-      | [] -> Ok acc
-      | kv :: rest -> (
-          match String.index_opt kv '=' with
-          | None -> Error (Printf.sprintf "bad grid entry %S (want k=v)" kv)
-          | Some i -> (
-              let k = String.trim (String.sub kv 0 i) in
-              let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-              match parse_rat v with
-              | Error msg -> Error msg
-              | Ok r -> gather ((k, r) :: acc) rest))
-    in
-    match gather [] kvs with
-    | Error msg -> Error msg
-    | Ok kvs -> (
-        let find k = List.assoc_opt k kvs in
-        match (find "n", find "d", find "u") with
-        | Some n, Some d, Some u when Rat.den n = 1 -> (
-            let n = Rat.num n in
-            try
-              Ok
-                (match find "eps" with
-                | Some eps -> Sim.Model.make ~n ~d ~u ~eps
-                | None -> Sim.Model.make_optimal_eps ~n ~d ~u)
-            with Invalid_argument msg -> Error msg)
-        | _ ->
-            Error
-              (Printf.sprintf "grid point %S needs integer n plus d and u" s))
-  in
-  let rec all acc = function
-    | [] -> Ok (List.rev acc)
-    | s :: rest -> (
-        match parse_point s with
-        | Error msg -> Error msg
-        | Ok m -> all (m :: acc) rest)
-  in
-  match String.split_on_char ';' spec with
-  | [] -> Error "empty grid spec"
-  | points -> all [] points
-
 let sweep_cmd =
   let json_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"PATH"
-          ~doc:
-            "Write the full JSON artifact (per-cell verdicts, latency \
-             summaries, worst observed latency vs the bound formula) to \
-             $(docv).")
+    json_path_arg
+      ~doc:
+        "Write the full JSON artifact (per-cell verdicts, latency \
+         summaries, worst observed latency vs the bound formula) to \
+         $(docv)."
   in
   let sweep_type_arg =
     Arg.(
@@ -955,23 +796,7 @@ let sweep_cmd =
       & info [ "ops" ] ~docv:"K"
           ~doc:"Operations per process in each cell (closed loop).")
   in
-  let resume_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "resume" ] ~docv:"DIR"
-          ~doc:
-            "Journal every completed cell to $(docv)/journal and replay \
-             cells already journaled there, so an interrupted or killed \
-             campaign resumes with a byte-identical fingerprint.  The \
-             directory is created on first use.")
-  in
-  let journal_sync_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "journal-sync" ] ~docv:"N"
-          ~doc:"fsync the checkpoint journal every $(docv) records.")
-  in
+  let resume_arg = resume_arg ~unit_:"cell" in
   let cell_budget_arg =
     Arg.(
       value
@@ -1413,6 +1238,244 @@ let finding_cmd =
           verbatim pseudocode, and that the repaired timing survives it.")
     Term.(ret (const run $ const ()))
 
+(* ---------------- scenario ---------------- *)
+
+(* Declarative scenarios: run files (or builtins) through the executor,
+   generate a pinned-seed batch, and shrink a failing scenario to a
+   minimal counterexample — optionally probing the shrunk delay matrix
+   against the paper's bound tables. *)
+
+let append_json path line =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc
+
+let scenario_json_doc =
+  "Append a one-line JSON record per outcome to $(docv)."
+
+let scenario_run_cmd =
+  let refs_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario files, or builtin scenario names.")
+  in
+  let json_arg = json_path_arg ~doc:scenario_json_doc in
+  let run refs json_path =
+    let failed = ref [] in
+    List.iter
+      (fun ref_ ->
+        match load_scenario ref_ with
+        | Error msg ->
+            Format.printf "%s: %s@." ref_ msg;
+            failed := ref_ :: !failed
+        | Ok s ->
+            let o = Scenario.run s in
+            Format.printf "%a@." Scenario.Exec.pp_outcome o;
+            Option.iter
+              (fun p -> append_json p (Scenario.Exec.json_of_outcome o))
+              json_path;
+            if not (Scenario.Exec.passes o) then failed := ref_ :: !failed)
+      refs;
+    Option.iter (Format.printf "appended %s@.") json_path;
+    match List.rev !failed with
+    | [] -> `Ok ()
+    | fs ->
+        `Error
+          ( false,
+            Printf.sprintf "%d scenario(s) did not meet their expectation: %s"
+              (List.length fs) (String.concat ", " fs) )
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run scenario files through the executor and judge each against \
+          its declared expectation (certify / violate / diagnostic) and \
+          temporal predicate.  Exits nonzero unless every scenario meets \
+          its expectation.")
+    Term.(ret (const run $ refs_arg $ json_arg))
+
+let scenario_gen_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Generate $(docv) scenarios, from consecutive seeds.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:
+            "Write each generated scenario to $(docv)/<name>.scn instead of \
+             printing it.")
+  in
+  let run_flag =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:
+            "Also execute every generated scenario; generated scenarios are \
+             drawn to certify, so any failure exits nonzero.")
+  in
+  let json_arg = json_path_arg ~doc:scenario_json_doc in
+  let run seed count out run_them json_path =
+    let scenarios = Scenario.Generate.batch ~seed ~count in
+    (match out with
+    | None ->
+        if not run_them then
+          List.iter (fun s -> print_string (Scenario.to_string s)) scenarios
+    | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        List.iter
+          (fun (s : Scenario.t) ->
+            let path = Filename.concat dir (s.Scenario.name ^ ".scn") in
+            Scenario.save path s;
+            Format.printf "wrote %s@." path)
+          scenarios);
+    if not run_them then `Ok ()
+    else begin
+      let failures = ref 0 in
+      List.iter
+        (fun (s : Scenario.t) ->
+          let o = Scenario.run s in
+          Format.printf "%-10s %s  (%s, %d ops, %.3fs)@." s.Scenario.name
+            (if Scenario.Exec.passes o then "PASS" else "FAIL")
+            s.Scenario.dt o.Scenario.Exec.operations o.Scenario.Exec.wall_s;
+          (match (Scenario.Exec.passes o, o.Scenario.Exec.witness) with
+          | false, Some w -> Format.printf "           witness: %s@." w
+          | _ -> ());
+          Option.iter
+            (fun p -> append_json p (Scenario.Exec.json_of_outcome o))
+            json_path;
+          if not (Scenario.Exec.passes o) then incr failures)
+        scenarios;
+      Option.iter (Format.printf "appended %s@.") json_path;
+      if !failures = 0 then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d generated scenarios failed" !failures
+              count )
+    end
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate seed-deterministic random scenarios over the bundled \
+          data types (same seed, byte-identical scenario).  With $(b,--run) \
+          the batch doubles as a randomized end-to-end suite: every \
+          generated scenario must certify.")
+    Term.(ret (const run $ seed_arg $ count_arg $ out_arg $ run_flag $ json_arg))
+
+let scenario_shrink_cmd =
+  let ref_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Scenario file, or a builtin scenario name.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Write the shrunk scenario to $(docv).")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "max-attempts" ] ~docv:"K"
+          ~doc:"Candidate runs to try before settling for the current size.")
+  in
+  let probe_arg =
+    Arg.(
+      value & flag
+      & info [ "probe-bounds" ]
+          ~doc:
+            "Feed the shrunk scenario's delay matrix into the adversary \
+             machinery: rerun it with the repaired timing and judge each \
+             operation class's worst latency against the paper's lower and \
+             upper bounds, reporting whether the matrix witnesses bound \
+             tightness.")
+  in
+  let json_arg = json_path_arg ~doc:scenario_json_doc in
+  let run ref_ out max_attempts probe json_path =
+    match load_scenario ref_ with
+    | Error msg -> `Error (false, msg)
+    | Ok s -> (
+        match Scenario.shrink ~max_attempts s with
+        | Error msg -> `Error (false, msg)
+        | Ok o ->
+            Format.printf "%a@." Scenario.Shrink.pp_outcome o;
+            Option.iter
+              (fun path ->
+                Scenario.save path o.Scenario.Shrink.scenario;
+                Format.printf "wrote %s@." path)
+              out;
+            let probe_report =
+              if probe then
+                match Scenario.Probe.probe o.Scenario.Shrink.scenario with
+                | Error msg ->
+                    Format.printf "bound probe: %s@." msg;
+                    Some (Error msg)
+                | Ok r ->
+                    Format.printf "%a@." Scenario.Probe.pp r;
+                    Some (Ok r)
+              else None
+            in
+            Option.iter
+              (fun p ->
+                let tightness =
+                  match probe_report with
+                  | Some (Ok r) ->
+                      string_of_bool (Scenario.Probe.witnesses_tightness r)
+                  | _ -> "null"
+                in
+                append_json p
+                  (Printf.sprintf
+                     {|{"bench": "scenario-shrink", "scenario": %S, "initial_size": %d, "final_size": %d, "steps": %d, "attempts": %d, "witness": %s, "tightness": %s}|}
+                     o.Scenario.Shrink.scenario.Scenario.name
+                     o.Scenario.Shrink.initial_size
+                     o.Scenario.Shrink.final_size o.Scenario.Shrink.steps
+                     o.Scenario.Shrink.attempts
+                     (match o.Scenario.Shrink.exec.Scenario.Exec.witness with
+                     | Some w -> Printf.sprintf "%S" w
+                     | None -> "null")
+                     tightness);
+                Format.printf "appended %s@." p)
+              json_path;
+            (match probe_report with
+            | Some (Error msg) -> `Error (false, "bound probe: " ^ msg)
+            | _ -> `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Reduce a failing scenario to a minimal counterexample: greedily \
+          drop invocations, move the delay matrix toward the uniform point, \
+          drop fault specs and shrink seeds, to a fixpoint.  The result is \
+          deterministic (a function of the scenario alone) and still fails \
+          the same expectation.  With $(b,--probe-bounds) the shrunk matrix \
+          is judged against the paper's bound tables.")
+    Term.(
+      ret
+        (const run $ ref_arg $ out_arg $ max_attempts_arg $ probe_arg
+       $ json_arg))
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:
+         "Declarative scenarios: first-class run descriptions (data type, \
+          model, delays, faults, algorithm, workload, expectation, temporal \
+          predicate) with a stable textual encoding, a seed-deterministic \
+          generator and a counterexample shrinker.")
+    [ scenario_run_cmd; scenario_gen_cmd; scenario_shrink_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "repro" ~version:"1.0"
@@ -1433,6 +1496,7 @@ let main =
       sync_cmd;
       bench_cmd;
       finding_cmd;
+      scenario_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -359,3 +359,111 @@ module Thm5 = struct
 end
 
 let _ = matrix_equal
+
+(* ------------------------------------------------------------------ *)
+(* Probing candidate delay matrices against the bound tables           *)
+
+module Probe = struct
+  type assessment = {
+    kind : Spec.Op_kind.t;
+    observed : Rat.t;
+    lower : Rat.t option;
+    upper : Rat.t;
+    meets_lower : bool;
+    within_upper : bool;
+  }
+
+  type report = {
+    matrix_admissible : bool;
+    assessments : assessment list;
+    claims : claim list;
+  }
+
+  (* The per-class lower bounds of Table 1: u/4 for pure accessors
+     (Theorem 2, needs n >= 3), (1 - 1/n)u for pure mutators (Theorem 3
+     over all n processes), d + min{eps, u, d/3} for mixed operations,
+     which are pair-free in every bundled type's Table 2 row. *)
+  let lower_bound (model : Sim.Model.t) = function
+    | Spec.Op_kind.Pure_accessor ->
+        if model.n >= 3 then Some (Theorems.thm2_pure_accessor model) else None
+    | Spec.Op_kind.Pure_mutator ->
+        if model.n >= 2 then Some (Theorems.thm3_last_sensitive model)
+        else None
+    | Spec.Op_kind.Mixed -> Some (Theorems.thm4_pair_free model)
+
+  let upper_bound (model : Sim.Model.t) ~x = function
+    | Spec.Op_kind.Pure_accessor -> Theorems.ub_pure_accessor model ~x
+    | Spec.Op_kind.Pure_mutator -> Theorems.ub_pure_mutator model ~x
+    | Spec.Op_kind.Mixed -> Theorems.ub_mixed model
+
+  let assess ~(model : Sim.Model.t) ~x ~matrix ~observed =
+    let matrix_admissible = Sim.Net.matrix_valid model matrix in
+    let assessments =
+      List.map
+        (fun (kind, worst) ->
+          let lower = lower_bound model kind in
+          let upper = upper_bound model ~x kind in
+          {
+            kind;
+            observed = worst;
+            lower;
+            upper;
+            meets_lower =
+              (match lower with
+              | Some lo -> Rat.ge worst lo
+              | None -> false);
+            within_upper = Rat.le worst upper;
+          })
+        observed
+    in
+    let claims =
+      claim "candidate matrix admissible for the model" matrix_admissible
+      :: List.concat_map
+           (fun a ->
+             let k = Spec.Op_kind.to_string a.kind in
+             let within =
+               claim
+                 (Printf.sprintf
+                    "[%s] worst latency %s within Algorithm 1's bound %s" k
+                    (Rat.to_string a.observed) (Rat.to_string a.upper))
+                 a.within_upper
+             in
+             match a.lower with
+             | None -> [ within ]
+             | Some lo ->
+                 [
+                   within;
+                   claim
+                     (Printf.sprintf
+                        "[%s] worst latency %s realizes the lower bound %s \
+                         (tightness witness)"
+                        k (Rat.to_string a.observed) (Rat.to_string lo))
+                     a.meets_lower;
+                 ])
+           assessments
+    in
+    { matrix_admissible; assessments; claims }
+
+  (* A candidate witnesses tightness when it is an admissible execution
+     whose worst latency in some class reaches that class's lower
+     bound: the adversary found by shrinking is then as strong as the
+     proofs' hand-built one. *)
+  let witnesses_tightness r =
+    r.matrix_admissible
+    && List.exists (fun a -> a.meets_lower) r.assessments
+
+  let pp ppf r =
+    Format.fprintf ppf "@[<v>matrix admissible: %b@," r.matrix_admissible;
+    List.iter
+      (fun a ->
+        Format.fprintf ppf "[%s] observed %s; lower %s (%s); upper %s (%s)@,"
+          (Spec.Op_kind.to_string a.kind)
+          (Rat.to_string a.observed)
+          (match a.lower with None -> "n/a" | Some lo -> Rat.to_string lo)
+          (if a.meets_lower then "reached" else "not reached")
+          (Rat.to_string a.upper)
+          (if a.within_upper then "respected" else "EXCEEDED");
+      )
+      r.assessments;
+    Format.fprintf ppf "tightness witness: %b@]" (witnesses_tightness r)
+end

@@ -69,3 +69,41 @@ module Thm5 : sig
   val claims : Sim.Model.t -> claim list
   (** @raise Invalid_argument if [n < 3]. *)
 end
+
+(** Probing candidate delay matrices — e.g. the matrix of a shrunk
+    failing scenario — against the paper's bound tables.  A candidate
+    {e witnesses tightness} when it is admissible and some operation
+    class's worst observed latency reaches that class's lower bound:
+    the shrinking search then produced an adversary as strong as the
+    proofs' hand-built shifted executions. *)
+module Probe : sig
+  type assessment = {
+    kind : Spec.Op_kind.t;
+    observed : Rat.t;  (** worst latency realized under the candidate *)
+    lower : Rat.t option;
+        (** the class's Table 1 lower bound ([None] when the theorem's
+            preconditions don't hold at this model point) *)
+    upper : Rat.t;  (** Algorithm 1's repaired upper bound *)
+    meets_lower : bool;  (** [observed >= lower] *)
+    within_upper : bool;  (** [observed <= upper] *)
+  }
+
+  type report = {
+    matrix_admissible : bool;
+    assessments : assessment list;
+    claims : claim list;
+  }
+
+  val assess :
+    model:Sim.Model.t ->
+    x:Rat.t ->
+    matrix:Rat.t array array ->
+    observed:(Spec.Op_kind.t * Rat.t) list ->
+    report
+  (** [observed] pairs each operation class with the worst latency an
+      execution under [matrix] realized (a scenario executor's
+      [by_kind]). *)
+
+  val witnesses_tightness : report -> bool
+  val pp : Format.formatter -> report -> unit
+end

@@ -77,6 +77,10 @@ module Make (T : Spec.Data_type.S) = struct
         (** which engine produced [linearization] ("wing-gong", a
             per-type monitor, or a monitor-to-Wing-Gong fallback);
             [None] when checking was off *)
+    converged : bool option;
+        (** for Wtlw runs: do all replicas hold equal states at
+            quiescence?  [None] for the baselines (centralized and TOB
+            keep no per-process replicas to compare) *)
   }
 
   module Config = struct
@@ -89,6 +93,7 @@ module Make (T : Spec.Data_type.S) = struct
       deadline : (unit -> bool) option;
       checker : checker;
       channel : Reliable.config option;
+      timing : (Sim.Model.t -> x:Rat.t -> Wtlw.timing) option;
       model : Sim.Model.t;
       offsets : Rat.t array;
       delay : Sim.Net.t;
@@ -98,8 +103,8 @@ module Make (T : Spec.Data_type.S) = struct
 
     let make ?(check = true) ?(retain_events = true)
         ?(faults = Sim.Fault.none) ?max_events ?max_check_nodes ?deadline
-        ?(checker = Monitor) ?channel ~model ~offsets ~delay ~algorithm
-        ~workload () =
+        ?(checker = Monitor) ?channel ?timing ~model ~offsets ~delay
+        ~algorithm ~workload () =
       {
         check;
         retain_events;
@@ -109,6 +114,7 @@ module Make (T : Spec.Data_type.S) = struct
         deadline;
         checker;
         channel;
+        timing;
         model;
         offsets;
         delay;
@@ -220,6 +226,7 @@ module Make (T : Spec.Data_type.S) = struct
       faults = Sim.Trace.fault_counts trace;
       truncated = false;
       channel = None;
+      converged = None;
     }
 
   (* Streaming variant used by [run]: latency summaries accumulate in
@@ -277,6 +284,7 @@ module Make (T : Spec.Data_type.S) = struct
       faults = Sim.Trace.fault_counts trace;
       truncated;
       channel;
+      converged = None;
     }
 
   (* Direct leg: the algorithm straight on the configured network,
@@ -294,10 +302,20 @@ module Make (T : Spec.Data_type.S) = struct
     let retain_events = cfg.retain_events and faults = cfg.faults in
     match algorithm with
     | Wtlw { x } ->
+        (* An explicit timing override (the ablation knobs) bypasses
+           [create]'s X-validity check on purpose: the overridden
+           timings are deliberately outside the sound envelope. *)
         let cluster =
-          Wtlw_impl.create ~retain_events ~faults ~model ~x ~offsets ~delay ()
+          match cfg.timing with
+          | None ->
+              Wtlw_impl.create ~retain_events ~faults ~model ~x ~offsets
+                ~delay ()
+          | Some timing_of ->
+              Wtlw_impl.create_with_timing ~retain_events ~faults ~model
+                ~timing:(timing_of model ~x) ~offsets ~delay ()
         in
-        finish cluster.engine
+        let report = finish cluster.engine in
+        { report with converged = Some (Wtlw_impl.replicas_converged cluster) }
     | Centralized ->
         let cluster =
           Centralized_impl.create ~retain_events ~faults ~model ~offsets
@@ -339,19 +357,25 @@ module Make (T : Spec.Data_type.S) = struct
     in
     match algorithm with
     | Wtlw { x } ->
-        if
-          not
-            (Rat.in_range ~lo:Rat.zero
-               ~hi:(Rat.sub effective.d effective.eps)
-               x)
-        then invalid_arg "Runtime.run: X outside [0, d' - eps']";
+        let timing =
+          match cfg.timing with
+          | None ->
+              if
+                not
+                  (Rat.in_range ~lo:Rat.zero
+                     ~hi:(Rat.sub effective.d effective.eps)
+                     x)
+              then invalid_arg "Runtime.run: X outside [0, d' - eps']";
+              Wtlw.default_timing effective ~x
+          | Some timing_of -> timing_of effective ~x
+        in
         let states = Wtlw_impl.fresh_states ~n:effective.n in
-        let timing = Wtlw.default_timing effective ~x in
         let handlers, stats =
           Reliable.wrap ~config ~n:effective.n
             (Wtlw_impl.protocol ~timing states)
         in
-        finish (create_engine handlers) stats
+        let report = finish (create_engine handlers) stats in
+        { report with converged = Some (Wtlw_impl.states_converged states) }
     | Centralized ->
         let handlers, stats =
           Reliable.wrap ~config ~n:effective.n
@@ -391,6 +415,9 @@ module Make (T : Spec.Data_type.S) = struct
       r.delays_admissible r.pending;
     (match r.checked_by with
     | Some engine -> Format.fprintf ppf "checked by: %s@," engine
+    | None -> ());
+    (match r.converged with
+    | Some c -> Format.fprintf ppf "replicas converged: %b@," c
     | None -> ());
     (match Metrics.Hist.quantiles r.hist with
     | Some q -> Format.fprintf ppf "latency %a@," Metrics.Hist.pp_quantiles q

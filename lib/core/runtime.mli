@@ -93,6 +93,11 @@ module Make (T : Spec.Data_type.S) : sig
         (** which engine produced [linearization] ("wing-gong", a
             per-type monitor, or a monitor-to-Wing-Gong fallback);
             [None] when checking was off *)
+    converged : bool option;
+        (** for Wtlw runs: do all replicas hold equal states at
+            quiescence?  [None] for the baselines (the centralized and
+            TOB implementations keep no per-process replicas to
+            compare) *)
   }
 
   (** Everything that defines one run, in one declarative record. *)
@@ -127,6 +132,15 @@ module Make (T : Spec.Data_type.S) : sig
               against [Reliable.inflated_model] ([d' = d + k * rto] by
               default, [eps] widened by the plan's injected skew).
               [None]: the algorithm runs directly on the network. *)
+      timing : (Sim.Model.t -> x:Rat.t -> Wtlw.timing) option;
+          (** override Algorithm 1's five waiting periods (the ablation
+              knobs, [Core.Ablation.timing_of_knob]); applied to the
+              model the run is judged against (the inflated model on
+              reliable legs).  Overrides skip [Wtlw.Make.create]'s
+              X-validity check — ablation timings are deliberately
+              outside the sound envelope.  Ignored by the baselines.
+              [None] (the default): the repaired
+              {!Wtlw.default_timing}. *)
       model : Sim.Model.t;
       offsets : Rat.t array;
       delay : Sim.Net.t;
@@ -143,6 +157,7 @@ module Make (T : Spec.Data_type.S) : sig
       ?deadline:(unit -> bool) ->
       ?checker:checker ->
       ?channel:Reliable.config ->
+      ?timing:(Sim.Model.t -> x:Rat.t -> Wtlw.timing) ->
       model:Sim.Model.t ->
       offsets:Rat.t array ->
       delay:Sim.Net.t ->

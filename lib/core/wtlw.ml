@@ -212,7 +212,11 @@ module Make (T : Spec.Data_type.S) = struct
 
   let replica_state t i = t.states.(i).store
 
-  let replicas_converged t =
-    let reference = replica_state t 0 in
-    Array.for_all (fun p -> T.equal_state p.store reference) t.states
+  let states_converged states =
+    if Array.length states = 0 then true
+    else
+      let reference = states.(0).store in
+      Array.for_all (fun p -> T.equal_state p.store reference) states
+
+  let replicas_converged t = states_converged t.states
 end

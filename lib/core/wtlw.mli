@@ -87,4 +87,9 @@ module Make (T : Spec.Data_type.S) : sig
 
   val replicas_converged : t -> bool
   (** After quiescence, do all replicas hold equal states? *)
+
+  val states_converged : pstate array -> bool
+  (** {!replicas_converged} on bare replica states — for runs whose
+      handlers were wrapped (e.g. by the reliable channel) and so never
+      materialized a [t]. *)
 end

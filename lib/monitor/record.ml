@@ -124,6 +124,30 @@ let violation ~kind ~rule culprits message =
    scans.  Records with observations outside the container vocabulary
    yield [Unknown] (the dispatcher falls back). *)
 let classify ~kind (records : t array) : (classes, outcome) result =
+  (* Ambiguity gate, before anything else.  Every per-value pattern
+     below assumes each value is inserted at most once; under a
+     duplicate insertion a "repeat take" or "fresh value" may simply be
+     the other insertion's copy, so no per-value verdict can be
+     trusted.  The scan must be a separate whole-array pass: in record
+     order a confounded pattern (two takes of [v]) can precede the
+     second [Put v] that explains it, and flagging eagerly would turn
+     an ambiguous history into a definitive — and wrong — violation. *)
+  let inserted = Hashtbl.create 97 in
+  let ambiguous = ref None in
+  Array.iter
+    (fun r ->
+      match r.obs with
+      | Spec.Adt_view.Put v when !ambiguous = None ->
+          if Hashtbl.mem inserted v then ambiguous := Some v
+          else Hashtbl.add inserted v ()
+      | _ -> ())
+    records;
+  match !ambiguous with
+  | Some v ->
+      Error
+        (Unknown
+           (Printf.sprintf "value %d inserted twice; history is ambiguous" v))
+  | None ->
   let classes =
     { by_value = Hashtbl.create 97; values = []; empties = [] }
   in
@@ -137,14 +161,7 @@ let classify ~kind (records : t array) : (classes, outcome) result =
           match r.obs with
           | Spec.Adt_view.Put v ->
               let c = class_for classes v in
-              (match c.put with
-              | Some first ->
-                  flag
-                    (violation ~kind ~rule:"container.ambiguous" [ r; first ]
-                       (Printf.sprintf
-                          "value %d inserted twice; history is ambiguous" v))
-                  (* not a semantic violation: report as Unknown below *)
-              | None -> c.put <- Some r)
+              c.put <- Some r
           | Take (Some v) -> (
               let c = class_for classes v in
               match c.take with
@@ -163,11 +180,6 @@ let classify ~kind (records : t array) : (classes, outcome) result =
                    (Printf.sprintf "observation %s outside container vocabulary"
                       (Spec.Adt_view.obs_to_string r.obs)))))
     records;
-  (* Insertion-twice is ambiguity, not a violation: downgrade. *)
-  (match !outcome with
-  | Some (Violation v) when v.Violation.rule = "container.ambiguous" ->
-      outcome := Some (Unknown v.Violation.message)
-  | _ -> ());
   (* fresh / before-put / after-take *)
   (match !outcome with
   | Some _ -> ()

@@ -94,6 +94,34 @@ let journal_roundtrip ~records () =
       if diags <> [] then failwith "journal bench section: dirty scan";
       List.length (loaded : (int * int * string) Sweep.Journal.record list))
 
+(* The scenario pipeline end to end: a fixed generated-workload
+   scenario (Poisson arrivals over a Zipf keyspace on the FIFO queue)
+   lowered through the executor, run, certified and judged against its
+   temporal predicate.  Everything is pinned, so the allocation profile
+   tracks the lowering + run + predicate-evaluation path. *)
+let scenario_events ~ops () =
+  let rat = Rat.make in
+  let model = Sim.Model.make ~n:4 ~d:(rat 8 1) ~u:(rat 2 1) ~eps:(rat 1 2) in
+  let s =
+    Scenario.make ~name:"perf-scenario" ~dt:"queue" ~model
+      ~algorithm:(Scenario.Wtlw { x = rat 3 1; knob = Core.Ablation.Paper })
+      ~workload:
+        (Scenario.Generated
+           {
+             arrival = Core.Workload.Poisson { rate = rat 1 4 };
+             zipf = 0.9;
+             keys = 16;
+             ops;
+           })
+      ~seed:9 ~max_events:10_000_000
+      ~predicate:(Scenario.Finally (Scenario.Pending_le 0))
+      ()
+  in
+  let o = Scenario.run s in
+  if not (Scenario.Exec.passes o) then
+    failwith "scenario bench section: run did not certify";
+  o.Scenario.Exec.events
+
 let sections =
   [
     {
@@ -120,6 +148,13 @@ let sections =
         "1000 checkpoint records framed, checksummed, appended and scanned \
          back";
       run = journal_roundtrip ~records:1_000;
+    };
+    {
+      name = "scenario-1k";
+      description =
+        "1000-op generated-workload scenario lowered, run, certified and \
+         judged against its temporal predicate";
+      run = scenario_events ~ops:1_000;
     };
   ]
 

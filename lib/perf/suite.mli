@@ -19,7 +19,10 @@ val sections : section list
     optimal-epsilon model) — the same shape as the streaming bench in
     [bench/main.ml].  ["load-shard-4k"]: the [repro load] pipeline at
     bench scale — a 4000-operation diurnal Zipf stream over 4
-    FIFO-queue shards, certified per key, run inline on one domain. *)
+    FIFO-queue shards, certified per key, run inline on one domain.
+    ["scenario-1k"]: a pinned 1000-operation generated-workload
+    scenario lowered through the scenario executor, certified and
+    judged against its temporal predicate. *)
 
 val find : string -> section option
 

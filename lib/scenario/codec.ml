@@ -1,0 +1,563 @@
+(* Stable textual encoding of scenarios.
+
+   [to_sexp] always emits every field, in a fixed order, with
+   canonical atom renderings (rationals as "n/d", floats via the
+   round-trip-exact printer in [Sexp]), so the composition
+   [Sexp.to_string % to_sexp] is an injection: two scenarios are equal
+   iff their renderings are byte-identical, and
+   [of_sexp (to_sexp s) = Ok s] for every well-formed scenario. *)
+
+open Types
+
+let ( let* ) r f = Result.bind r f
+
+let in_field name r =
+  Result.map_error (fun e -> Printf.sprintf "%s: %s" name e) r
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let sexp_of_edges : Sim.Fault.edges -> Sexp.t = function
+  | Sim.Fault.All -> Sexp.atom "all"
+  | Sim.Fault.Edges l ->
+      Sexp.list
+        (Sexp.atom "edges"
+        :: List.map
+             (fun (s, d) -> Sexp.list [ Sexp.of_int s; Sexp.of_int d ])
+             l)
+
+let sexp_of_spec : Sim.Fault.spec -> Sexp.t = function
+  | Sim.Fault.Drop { p; edges } ->
+      Sexp.list [ Sexp.atom "drop"; Sexp.of_float p; sexp_of_edges edges ]
+  | Sim.Fault.Duplicate { p; edges } ->
+      Sexp.list [ Sexp.atom "duplicate"; Sexp.of_float p; sexp_of_edges edges ]
+  | Sim.Fault.Spike { p; edges; margin; below } ->
+      Sexp.list
+        [
+          Sexp.atom "spike";
+          Sexp.of_float p;
+          Sexp.of_rat margin;
+          Sexp.atom (if below then "below" else "above");
+          sexp_of_edges edges;
+        ]
+  | Sim.Fault.Crash { proc; at } ->
+      Sexp.list [ Sexp.atom "crash"; Sexp.of_int proc; Sexp.of_rat at ]
+  | Sim.Fault.Skew { proc; offset } ->
+      Sexp.list [ Sexp.atom "skew"; Sexp.of_int proc; Sexp.of_rat offset ]
+
+let sexp_of_knob : Core.Ablation.knob -> Sexp.t = function
+  | Core.Ablation.Paper -> Sexp.atom "paper"
+  | Core.Ablation.Paper_verbatim -> Sexp.atom "paper-verbatim"
+  | Core.Ablation.No_execute_wait -> Sexp.atom "no-execute-wait"
+  | Core.Ablation.Short_execute_wait r ->
+      Sexp.list [ Sexp.atom "short-execute-wait"; Sexp.of_rat r ]
+  | Core.Ablation.No_add_wait -> Sexp.atom "no-add-wait"
+  | Core.Ablation.Eager_accessor r ->
+      Sexp.list [ Sexp.atom "eager-accessor"; Sexp.of_rat r ]
+  | Core.Ablation.No_accessor_backdate -> Sexp.atom "no-accessor-backdate"
+
+let sexp_of_algorithm = function
+  | Wtlw { x; knob } ->
+      Sexp.list [ Sexp.atom "wtlw"; Sexp.of_rat x; sexp_of_knob knob ]
+  | Centralized -> Sexp.atom "centralized"
+  | Tob -> Sexp.atom "tob"
+
+let sexp_of_delays = function
+  | Random_delays -> Sexp.atom "random"
+  | Max_delays -> Sexp.atom "max"
+  | Min_delays -> Sexp.atom "min"
+  | Matrix m ->
+      Sexp.list
+        (Sexp.atom "matrix"
+        :: Array.to_list
+             (Array.map
+                (fun row ->
+                  Sexp.list (Array.to_list (Array.map Sexp.of_rat row)))
+                m))
+
+let sexp_of_arrival : Core.Workload.arrival -> Sexp.t = function
+  | Core.Workload.Poisson { rate } ->
+      Sexp.list [ Sexp.atom "poisson"; Sexp.of_rat rate ]
+  | Core.Workload.Bursty { rate; size } ->
+      Sexp.list [ Sexp.atom "bursty"; Sexp.of_rat rate; Sexp.of_int size ]
+  | Core.Workload.Diurnal { rate; period; trough } ->
+      Sexp.list
+        [
+          Sexp.atom "diurnal";
+          Sexp.of_rat rate;
+          Sexp.of_rat period;
+          Sexp.of_rat trough;
+        ]
+
+let sexp_of_op_ref = function
+  | Sample { op; index } ->
+      Sexp.list [ Sexp.atom "sample"; Sexp.atom op; Sexp.of_int index ]
+  | Tagged { op; tag } ->
+      Sexp.list [ Sexp.atom "tagged"; Sexp.atom op; Sexp.of_int tag ]
+
+let sexp_of_entry { proc; at; op } =
+  Sexp.list [ Sexp.of_int proc; Sexp.of_rat at; sexp_of_op_ref op ]
+
+let sexp_of_workload = function
+  | Explicit l -> Sexp.list (Sexp.atom "explicit" :: List.map sexp_of_entry l)
+  | Closed_loop { per_proc; think } ->
+      Sexp.list
+        [ Sexp.atom "closed-loop"; Sexp.of_int per_proc; Sexp.of_rat think ]
+  | Generated { arrival; zipf; keys; ops } ->
+      Sexp.list
+        [
+          Sexp.atom "generated";
+          sexp_of_arrival arrival;
+          Sexp.of_float zipf;
+          Sexp.of_int keys;
+          Sexp.of_int ops;
+        ]
+
+let sexp_of_state_atom = function
+  | Completed_ge k -> Sexp.list [ Sexp.atom "completed-ge"; Sexp.of_int k ]
+  | Latency_le t -> Sexp.list [ Sexp.atom "latency-le"; Sexp.of_rat t ]
+  | Op_is s -> Sexp.list [ Sexp.atom "op-is"; Sexp.atom s ]
+  | Resp_by t -> Sexp.list [ Sexp.atom "resp-by"; Sexp.of_rat t ]
+
+let sexp_of_final_atom = function
+  | Pending_le k -> Sexp.list [ Sexp.atom "pending-le"; Sexp.of_int k ]
+  | Messages_le k -> Sexp.list [ Sexp.atom "messages-le"; Sexp.of_int k ]
+  | Faults_le k -> Sexp.list [ Sexp.atom "faults-le"; Sexp.of_int k ]
+  | Linearizable -> Sexp.atom "linearizable"
+  | Converged -> Sexp.atom "converged"
+
+let rec sexp_of_pred = function
+  | True -> Sexp.atom "true"
+  | Not p -> Sexp.list [ Sexp.atom "not"; sexp_of_pred p ]
+  | And (p, q) -> Sexp.list [ Sexp.atom "and"; sexp_of_pred p; sexp_of_pred q ]
+  | Or (p, q) -> Sexp.list [ Sexp.atom "or"; sexp_of_pred p; sexp_of_pred q ]
+  | Always a -> Sexp.list [ Sexp.atom "always"; sexp_of_state_atom a ]
+  | Eventually a -> Sexp.list [ Sexp.atom "eventually"; sexp_of_state_atom a ]
+  | Finally a -> Sexp.list [ Sexp.atom "finally"; sexp_of_final_atom a ]
+
+let sexp_of_expect = function
+  | Certify -> Sexp.atom "certify"
+  | Violate -> Sexp.atom "violate"
+  | Diagnostic s -> Sexp.list [ Sexp.atom "diagnostic"; Sexp.atom s ]
+
+let sexp_of_opt_int = function
+  | None -> Sexp.atom "none"
+  | Some i -> Sexp.of_int i
+
+let to_sexp (s : t) : Sexp.t =
+  let m = s.model in
+  Sexp.list
+    [
+      Sexp.atom "scenario";
+      Sexp.list [ Sexp.atom "name"; Sexp.atom s.name ];
+      Sexp.list [ Sexp.atom "type"; Sexp.atom s.dt ];
+      Sexp.list
+        [
+          Sexp.atom "model";
+          Sexp.of_int m.Sim.Model.n;
+          Sexp.of_rat m.Sim.Model.d;
+          Sexp.of_rat m.Sim.Model.u;
+          Sexp.of_rat m.Sim.Model.eps;
+        ];
+      Sexp.list
+        (Sexp.atom "offsets"
+        :: Array.to_list (Array.map Sexp.of_rat s.offsets));
+      Sexp.list [ Sexp.atom "delays"; sexp_of_delays s.delays ];
+      Sexp.list
+        (Sexp.atom "faults"
+        :: Sexp.of_int s.faults.Sim.Fault.seed
+        :: List.map sexp_of_spec s.faults.Sim.Fault.specs);
+      Sexp.list [ Sexp.atom "reliable"; Sexp.of_bool s.reliable ];
+      Sexp.list
+        [
+          Sexp.atom "checker";
+          Sexp.atom (Core.Runtime.checker_name s.checker);
+        ];
+      Sexp.list [ Sexp.atom "algorithm"; sexp_of_algorithm s.algorithm ];
+      Sexp.list [ Sexp.atom "workload"; sexp_of_workload s.workload ];
+      Sexp.list [ Sexp.atom "seed"; Sexp.of_int s.seed ];
+      Sexp.list [ Sexp.atom "max-events"; sexp_of_opt_int s.max_events ];
+      Sexp.list
+        [ Sexp.atom "max-check-nodes"; sexp_of_opt_int s.max_check_nodes ];
+      Sexp.list [ Sexp.atom "expect"; sexp_of_expect s.expect ];
+      Sexp.list [ Sexp.atom "predicate"; sexp_of_pred s.predicate ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let edges_of_sexp = function
+  | Sexp.Atom "all" -> Ok Sim.Fault.All
+  | Sexp.List (Sexp.Atom "edges" :: pairs) ->
+      let* l =
+        List.fold_right
+          (fun p acc ->
+            let* acc = acc in
+            match p with
+            | Sexp.List [ a; b ] ->
+                let* s = Sexp.as_int a in
+                let* d = Sexp.as_int b in
+                Ok ((s, d) :: acc)
+            | _ -> Error "bad edge")
+          pairs (Ok [])
+      in
+      Ok (Sim.Fault.Edges l)
+  | _ -> Error "bad edges"
+
+let spec_of_sexp = function
+  | Sexp.List [ Sexp.Atom "drop"; p; e ] ->
+      let* p = Sexp.as_float p in
+      let* edges = edges_of_sexp e in
+      Ok (Sim.Fault.Drop { p; edges })
+  | Sexp.List [ Sexp.Atom "duplicate"; p; e ] ->
+      let* p = Sexp.as_float p in
+      let* edges = edges_of_sexp e in
+      Ok (Sim.Fault.Duplicate { p; edges })
+  | Sexp.List [ Sexp.Atom "spike"; p; margin; dir; e ] ->
+      let* p = Sexp.as_float p in
+      let* margin = Sexp.as_rat margin in
+      let* below =
+        match dir with
+        | Sexp.Atom "below" -> Ok true
+        | Sexp.Atom "above" -> Ok false
+        | _ -> Error "spike direction must be above|below"
+      in
+      let* edges = edges_of_sexp e in
+      Ok (Sim.Fault.Spike { p; edges; margin; below })
+  | Sexp.List [ Sexp.Atom "crash"; proc; at ] ->
+      let* proc = Sexp.as_int proc in
+      let* at = Sexp.as_rat at in
+      Ok (Sim.Fault.Crash { proc; at })
+  | Sexp.List [ Sexp.Atom "skew"; proc; offset ] ->
+      let* proc = Sexp.as_int proc in
+      let* offset = Sexp.as_rat offset in
+      Ok (Sim.Fault.Skew { proc; offset })
+  | _ -> Error "bad fault spec"
+
+let knob_of_sexp = function
+  | Sexp.Atom "paper" -> Ok Core.Ablation.Paper
+  | Sexp.Atom "paper-verbatim" -> Ok Core.Ablation.Paper_verbatim
+  | Sexp.Atom "no-execute-wait" -> Ok Core.Ablation.No_execute_wait
+  | Sexp.Atom "no-add-wait" -> Ok Core.Ablation.No_add_wait
+  | Sexp.Atom "no-accessor-backdate" -> Ok Core.Ablation.No_accessor_backdate
+  | Sexp.List [ Sexp.Atom "short-execute-wait"; r ] ->
+      let* r = Sexp.as_rat r in
+      Ok (Core.Ablation.Short_execute_wait r)
+  | Sexp.List [ Sexp.Atom "eager-accessor"; r ] ->
+      let* r = Sexp.as_rat r in
+      Ok (Core.Ablation.Eager_accessor r)
+  | _ -> Error "bad knob"
+
+let algorithm_of_sexp = function
+  | Sexp.Atom "centralized" -> Ok Centralized
+  | Sexp.Atom "tob" -> Ok Tob
+  | Sexp.List [ Sexp.Atom "wtlw"; x; knob ] ->
+      let* x = Sexp.as_rat x in
+      let* knob = knob_of_sexp knob in
+      Ok (Wtlw { x; knob })
+  | _ -> Error "bad algorithm"
+
+let delays_of_sexp = function
+  | Sexp.Atom "random" -> Ok Random_delays
+  | Sexp.Atom "max" -> Ok Max_delays
+  | Sexp.Atom "min" -> Ok Min_delays
+  | Sexp.List (Sexp.Atom "matrix" :: rows) ->
+      let* rows =
+        List.fold_right
+          (fun row acc ->
+            let* acc = acc in
+            let* cells = Sexp.as_list row in
+            let* cells =
+              List.fold_right
+                (fun c acc ->
+                  let* acc = acc in
+                  let* r = Sexp.as_rat c in
+                  Ok (r :: acc))
+                cells (Ok [])
+            in
+            Ok (Array.of_list cells :: acc))
+          rows (Ok [])
+      in
+      Ok (Matrix (Array.of_list rows))
+  | _ -> Error "bad delays"
+
+let arrival_of_sexp = function
+  | Sexp.List [ Sexp.Atom "poisson"; rate ] ->
+      let* rate = Sexp.as_rat rate in
+      Ok (Core.Workload.Poisson { rate })
+  | Sexp.List [ Sexp.Atom "bursty"; rate; size ] ->
+      let* rate = Sexp.as_rat rate in
+      let* size = Sexp.as_int size in
+      Ok (Core.Workload.Bursty { rate; size })
+  | Sexp.List [ Sexp.Atom "diurnal"; rate; period; trough ] ->
+      let* rate = Sexp.as_rat rate in
+      let* period = Sexp.as_rat period in
+      let* trough = Sexp.as_rat trough in
+      Ok (Core.Workload.Diurnal { rate; period; trough })
+  | _ -> Error "bad arrival"
+
+let op_ref_of_sexp = function
+  | Sexp.List [ Sexp.Atom "sample"; Sexp.Atom op; i ] ->
+      let* index = Sexp.as_int i in
+      Ok (Sample { op; index })
+  | Sexp.List [ Sexp.Atom "tagged"; Sexp.Atom op; t ] ->
+      let* tag = Sexp.as_int t in
+      Ok (Tagged { op; tag })
+  | _ -> Error "bad op reference"
+
+let entry_of_sexp = function
+  | Sexp.List [ proc; at; op ] ->
+      let* proc = Sexp.as_int proc in
+      let* at = Sexp.as_rat at in
+      let* op = op_ref_of_sexp op in
+      Ok { proc; at; op }
+  | _ -> Error "bad entry"
+
+let workload_of_sexp = function
+  | Sexp.List (Sexp.Atom "explicit" :: entries) ->
+      let* l =
+        List.fold_right
+          (fun e acc ->
+            let* acc = acc in
+            let* e = entry_of_sexp e in
+            Ok (e :: acc))
+          entries (Ok [])
+      in
+      Ok (Explicit l)
+  | Sexp.List [ Sexp.Atom "closed-loop"; per_proc; think ] ->
+      let* per_proc = Sexp.as_int per_proc in
+      let* think = Sexp.as_rat think in
+      Ok (Closed_loop { per_proc; think })
+  | Sexp.List [ Sexp.Atom "generated"; arrival; zipf; keys; ops ] ->
+      let* arrival = arrival_of_sexp arrival in
+      let* zipf = Sexp.as_float zipf in
+      let* keys = Sexp.as_int keys in
+      let* ops = Sexp.as_int ops in
+      Ok (Generated { arrival; zipf; keys; ops })
+  | _ -> Error "bad workload"
+
+let state_atom_of_sexp = function
+  | Sexp.List [ Sexp.Atom "completed-ge"; k ] ->
+      let* k = Sexp.as_int k in
+      Ok (Completed_ge k)
+  | Sexp.List [ Sexp.Atom "latency-le"; t ] ->
+      let* t = Sexp.as_rat t in
+      Ok (Latency_le t)
+  | Sexp.List [ Sexp.Atom "op-is"; Sexp.Atom s ] -> Ok (Op_is s)
+  | Sexp.List [ Sexp.Atom "resp-by"; t ] ->
+      let* t = Sexp.as_rat t in
+      Ok (Resp_by t)
+  | _ -> Error "bad state atom"
+
+let final_atom_of_sexp = function
+  | Sexp.List [ Sexp.Atom "pending-le"; k ] ->
+      let* k = Sexp.as_int k in
+      Ok (Pending_le k)
+  | Sexp.List [ Sexp.Atom "messages-le"; k ] ->
+      let* k = Sexp.as_int k in
+      Ok (Messages_le k)
+  | Sexp.List [ Sexp.Atom "faults-le"; k ] ->
+      let* k = Sexp.as_int k in
+      Ok (Faults_le k)
+  | Sexp.Atom "linearizable" -> Ok Linearizable
+  | Sexp.Atom "converged" -> Ok Converged
+  | _ -> Error "bad final atom"
+
+let rec pred_of_sexp = function
+  | Sexp.Atom "true" -> Ok True
+  | Sexp.List [ Sexp.Atom "not"; p ] ->
+      let* p = pred_of_sexp p in
+      Ok (Not p)
+  | Sexp.List [ Sexp.Atom "and"; p; q ] ->
+      let* p = pred_of_sexp p in
+      let* q = pred_of_sexp q in
+      Ok (And (p, q))
+  | Sexp.List [ Sexp.Atom "or"; p; q ] ->
+      let* p = pred_of_sexp p in
+      let* q = pred_of_sexp q in
+      Ok (Or (p, q))
+  | Sexp.List [ Sexp.Atom "always"; a ] ->
+      let* a = state_atom_of_sexp a in
+      Ok (Always a)
+  | Sexp.List [ Sexp.Atom "eventually"; a ] ->
+      let* a = state_atom_of_sexp a in
+      Ok (Eventually a)
+  | Sexp.List [ Sexp.Atom "finally"; a ] ->
+      let* a = final_atom_of_sexp a in
+      Ok (Finally a)
+  | _ -> Error "bad predicate"
+
+let expect_of_sexp = function
+  | Sexp.Atom "certify" -> Ok Certify
+  | Sexp.Atom "violate" -> Ok Violate
+  | Sexp.List [ Sexp.Atom "diagnostic"; Sexp.Atom s ] -> Ok (Diagnostic s)
+  | _ -> Error "bad expectation"
+
+let opt_int_of_sexp = function
+  | Sexp.Atom "none" -> Ok None
+  | s ->
+      let* i = Sexp.as_int s in
+      Ok (Some i)
+
+let checker_of_string = function
+  | "monitor" -> Ok Core.Runtime.Monitor
+  | "wing-gong" -> Ok Core.Runtime.Wing_gong
+  | s -> Error ("bad checker: " ^ s)
+
+let require name sexp =
+  match Sexp.field name sexp with
+  | Some v -> Ok v
+  | None -> Error ("missing field " ^ name)
+
+let of_sexp (sexp : Sexp.t) : (t, string) result =
+  let* () =
+    match sexp with
+    | Sexp.List (Sexp.Atom "scenario" :: _) -> Ok ()
+    | _ -> Error "not a (scenario ...) form"
+  in
+  let req1 name =
+    let* f = require name sexp in
+    in_field name (Sexp.one f)
+  in
+  let* name =
+    let* v = req1 "name" in
+    in_field "name" (Sexp.as_atom v)
+  in
+  let* dt =
+    let* v = req1 "type" in
+    in_field "type" (Sexp.as_atom v)
+  in
+  let* model =
+    let* f = require "model" sexp in
+    in_field "model"
+      (match f with
+      | Sexp.List [ n; d; u; eps ] -> (
+          let* n = Sexp.as_int n in
+          let* d = Sexp.as_rat d in
+          let* u = Sexp.as_rat u in
+          let* eps = Sexp.as_rat eps in
+          try Ok (Sim.Model.make ~n ~d ~u ~eps)
+          with Invalid_argument m -> Error m)
+      | _ -> Error "expected (model N D U EPS)")
+  in
+  let* offsets =
+    let* f = require "offsets" sexp in
+    in_field "offsets"
+      (let* l = Sexp.as_list f in
+       let* l =
+         List.fold_right
+           (fun x acc ->
+             let* acc = acc in
+             let* r = Sexp.as_rat x in
+             Ok (r :: acc))
+           l (Ok [])
+       in
+       if List.length l <> model.Sim.Model.n then
+         Error "offsets length must equal the model's n"
+       else Ok (Array.of_list l))
+  in
+  let* delays =
+    let* v = req1 "delays" in
+    in_field "delays" (delays_of_sexp v)
+  in
+  let* () =
+    match delays with
+    | Matrix m
+      when Array.length m <> model.Sim.Model.n
+           || Array.exists (fun r -> Array.length r <> model.Sim.Model.n) m ->
+        Error "delays: matrix must be n x n"
+    | _ -> Ok ()
+  in
+  let* faults =
+    let* f = require "faults" sexp in
+    in_field "faults"
+      (match f with
+      | Sexp.List (seed :: specs) ->
+          let* seed = Sexp.as_int seed in
+          let* specs =
+            List.fold_right
+              (fun s acc ->
+                let* acc = acc in
+                let* s = spec_of_sexp s in
+                Ok (s :: acc))
+              specs (Ok [])
+          in
+          Ok { Sim.Fault.seed; specs }
+      | _ -> Error "expected (faults SEED SPEC...)")
+  in
+  let* reliable =
+    let* v = req1 "reliable" in
+    in_field "reliable" (Sexp.as_bool v)
+  in
+  let* checker =
+    let* v = req1 "checker" in
+    in_field "checker"
+      (let* s = Sexp.as_atom v in
+       checker_of_string s)
+  in
+  let* algorithm =
+    let* v = req1 "algorithm" in
+    in_field "algorithm" (algorithm_of_sexp v)
+  in
+  let* workload =
+    let* v = req1 "workload" in
+    in_field "workload" (workload_of_sexp v)
+  in
+  let* seed =
+    let* v = req1 "seed" in
+    in_field "seed" (Sexp.as_int v)
+  in
+  let* max_events =
+    let* v = req1 "max-events" in
+    in_field "max-events" (opt_int_of_sexp v)
+  in
+  let* max_check_nodes =
+    let* v = req1 "max-check-nodes" in
+    in_field "max-check-nodes" (opt_int_of_sexp v)
+  in
+  let* expect =
+    let* v = req1 "expect" in
+    in_field "expect" (expect_of_sexp v)
+  in
+  let* predicate =
+    let* v = req1 "predicate" in
+    in_field "predicate" (pred_of_sexp v)
+  in
+  Ok
+    {
+      name;
+      dt;
+      model;
+      offsets;
+      delays;
+      faults;
+      reliable;
+      checker;
+      algorithm;
+      workload;
+      seed;
+      max_events;
+      max_check_nodes;
+      expect;
+      predicate;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Strings and files                                                   *)
+
+let to_string s = Sexp.to_string_hum (to_sexp s)
+
+let of_string str =
+  let* sexp = Sexp.parse str in
+  of_sexp sexp
+
+let save path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string s))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | str -> of_string str
+  | exception Sys_error m -> Error m

@@ -1,0 +1,93 @@
+(* The scenario DSL: one first-class value describing a whole run —
+   workload, model point, delay schedule, fault plan, checker,
+   algorithm (including ablation knobs) and an expected outcome with a
+   temporal predicate — plus the machinery around it: a stable textual
+   encoding, a seed-deterministic generator, an executor lowering onto
+   [Runtime.Config]/[Sweep]/[Shard], and a counterexample shrinker.
+
+   This is the library's public face; the submodules stay accessible
+   ([Scenario.Exec], [Scenario.Shrink], ...) for code that wants the
+   detailed result records. *)
+
+include Types
+
+module Sexp = Sexp
+module Exec = Exec
+module Shrink = Shrink
+module Generate = Generate
+module Probe = Probe
+module Builtin = Builtin
+
+(* Codec, re-exported flat: [Scenario.to_sexp] etc. *)
+let to_sexp = Codec.to_sexp
+let of_sexp = Codec.of_sexp
+let to_string = Codec.to_string
+let of_string = Codec.of_string
+let save = Codec.save
+let load = Codec.load
+
+let run = Exec.run
+let shrink = Shrink.shrink
+let gen = Generate.gen
+
+(* ------------------------------------------------------------------ *)
+(* Projections from the existing run descriptions                      *)
+
+(* A sweep cell as a scenario: the exact same lowering [Sweep.eval]
+   performs (derived seed drives both the delay sampling and the
+   closed loop; offsets zero; think 1/2), so running the projection
+   reproduces the cell's run outside the campaign machinery. *)
+let of_sweep_cell (grid : Sweep.grid) (cell : Sweep.cell) : t =
+  let model = cell.point in
+  let algorithm =
+    match cell.algo with
+    | Sweep.Wtlw _ ->
+        Wtlw
+          {
+            x = Sweep.resolve_x model cell.algo;
+            knob = Core.Ablation.Paper;
+          }
+    | Sweep.Centralized -> Centralized
+    | Sweep.Tob -> Tob
+  in
+  let delays =
+    match cell.delays with
+    | Sweep.Random_delays -> Random_delays
+    | Sweep.Max_delays -> Max_delays
+    | Sweep.Min_delays -> Min_delays
+  in
+  make
+    ~name:(Sweep.cell_key grid cell)
+    ~dt:(Sweep.Packed_type.key cell.dt)
+    ~model ~delays ~faults:cell.plan
+    ~reliable:(cell.leg = Sweep.Recovered)
+    ~checker:grid.checker ~algorithm
+    ~workload:(Closed_loop { per_proc = grid.per_proc; think = Rat.make 1 2 })
+    ~seed:(Sweep.derived_seed grid cell)
+    ~max_events:grid.max_events ?max_check_nodes:grid.max_check_nodes
+    ~expect:Certify ~predicate:True ()
+
+(* A generated-workload scenario as a sharded-runtime config: the same
+   stream parameters, so [Shard.run] partitions the scenario's traffic
+   by key across clusters.  Only [Generated] workloads shard (explicit
+   and closed-loop runs have no key structure), and only the repaired
+   knob is expressible in [Shard.Config]. *)
+let to_shard_config ~shards (s : t) :
+    (Shard.Config.t, string) result =
+  match (s.workload, s.algorithm) with
+  | Explicit _, _ | Closed_loop _, _ ->
+      Error "only generated workloads shard by key"
+  | Generated _, Wtlw { knob; _ }
+    when knob <> Core.Ablation.Paper ->
+      Error "ablation knobs are not expressible in a shard config"
+  | Generated { arrival; zipf; keys; ops }, _ ->
+      Ok
+        (Shard.Config.make ~keys ~zipf ~faults:s.faults
+           ?channel:
+             (if s.reliable then Some (Core.Reliable.default_config s.model)
+              else None)
+           ~checker:s.checker ?max_events:s.max_events
+           ?max_check_nodes:s.max_check_nodes ~seed:s.seed ~shards
+           ~ops ~arrival ~model:s.model
+           ~algorithm:(Exec.runtime_algorithm s.algorithm)
+           ())

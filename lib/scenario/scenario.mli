@@ -1,0 +1,60 @@
+(** Declarative scenarios: runs as data.
+
+    A {!t} composes everything that defines a run — data type, model
+    point, delay schedule, fault plan, checker, algorithm variant
+    (including the ablation knobs), workload, budgets — with what the
+    run is {e expected} to do (certify / violate-with-witness /
+    named-diagnostic) and a temporal predicate over the observed trace.
+    Around it:
+
+    - a stable textual encoding ({!to_sexp}/{!of_sexp}; canonical, so
+      [of_sexp (to_sexp s) = Ok s] and equal scenarios render
+      byte-identically);
+    - seed-deterministic random generation over the ten bundled types
+      ({!gen}: same seed, byte-identical scenario);
+    - an executor lowering scenarios onto the existing
+      [Runtime.Config] / [Sweep] / [Shard] machinery ({!run},
+      {!of_sweep_cell}, {!to_shard_config});
+    - a greedy deterministic counterexample shrinker ({!shrink}: drop
+      invocations, move delay matrices toward the uniform point, drop
+      fault specs, shrink seeds — to a fixpoint);
+    - a bound probe feeding shrunk delay matrices into
+      [Bounds.Adversary] ({!Probe}). *)
+
+include module type of Types
+
+module Sexp = Sexp
+module Exec = Exec
+module Shrink = Shrink
+module Generate = Generate
+module Probe = Probe
+module Builtin = Builtin
+
+(** {1 Codec} *)
+
+val to_sexp : t -> Sexp.t
+val of_sexp : Sexp.t -> (t, string) result
+
+val to_string : t -> string
+(** Canonical rendering ({!Sexp.to_string_hum} of {!to_sexp}): one
+    field per line, byte-stable for equal scenarios. *)
+
+val of_string : string -> (t, string) result
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+(** {1 Running, generating, shrinking} *)
+
+val run : t -> Exec.outcome
+val gen : seed:int -> t
+val shrink : ?max_attempts:int -> t -> (Shrink.outcome, string) result
+
+(** {1 Projections} *)
+
+val of_sweep_cell : Sweep.grid -> Sweep.cell -> t
+(** A sweep cell as a scenario — the exact lowering [Sweep.eval]
+    performs, so running the projection reproduces the cell's run. *)
+
+val to_shard_config : shards:int -> t -> (Shard.Config.t, string) result
+(** A generated-workload scenario as a [Shard] campaign; explicit and
+    closed-loop workloads (and ablation knobs) do not shard. *)

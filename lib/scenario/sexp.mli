@@ -1,0 +1,51 @@
+(** Minimal s-expressions: the textual substrate of scenario files.
+
+    Scenarios must round-trip through files, journals and the CLI with
+    byte-identical rendering ([of_string (to_string s) = Ok s] and
+    [to_string] canonical), so this module is deliberately tiny and
+    fully specified: atoms are printed bare when they contain no
+    whitespace, parentheses, quotes or control characters, and quoted
+    with backslash escapes otherwise; lists print as space-separated
+    children inside parentheses. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+val to_string : t -> string
+(** Canonical single-line rendering. *)
+
+val to_string_hum : t -> string
+(** Indented rendering for files and terminals: the top-level list
+    breaks one child per line.  Parses back to the same value. *)
+
+val parse : string -> (t, string) result
+(** Parse one s-expression (surrounding whitespace allowed; trailing
+    non-whitespace is an error). *)
+
+(** {1 Decoding helpers} *)
+
+val field : string -> t -> t option
+(** [field k (List [...; List (Atom k :: v); ...])] finds the first
+    child list headed by atom [k] and returns [List v] ([v] as a list;
+    a single-value field decodes via {!one}). *)
+
+val one : t -> (t, string) result
+(** The sole element of a singleton list. *)
+
+val as_atom : t -> (string, string) result
+val as_list : t -> (t list, string) result
+val as_int : t -> (int, string) result
+val as_rat : t -> (Rat.t, string) result
+val as_float : t -> (float, string) result
+val as_bool : t -> (bool, string) result
+
+val of_rat : Rat.t -> t
+val of_int : int -> t
+val of_float : float -> t
+(** Floats print via [%.12g] when that round-trips bit-exactly, and
+    hexadecimal [%h] otherwise — both re-parse to the identical
+    value. *)
+
+val of_bool : bool -> t

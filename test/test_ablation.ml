@@ -11,7 +11,6 @@ let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
 
 module Q = Spec.Fifo_queue
 module A = Core.Ablation.Make (Q)
-module AReg = Core.Ablation.Make (Spec.Register)
 
 let evaluate knob = A.evaluate ~model ~x ~seeds knob
 
@@ -38,46 +37,50 @@ let test_eager_accessor_caught () =
   expect_violation "eager accessor"
     (Core.Ablation.Eager_accessor (Rat.div_int (Rat.sub model.d x) 4))
 
-(* The reproduction finding as a deterministic scenario: the paper's
-   exact pseudocode produces a divergent, non-linearizable admissible
-   run; the repaired timing survives the identical schedule. *)
-let test_paper_verbatim_counterexample () =
-  let lin_paper, conv_paper =
-    A.counterexample_run
-      ~timing_of:(fun model ~x -> Core.Wtlw.paper_timing model ~x)
-      ~fast_mutator:(Q.Enqueue 55) ~slow_mutator:(Q.Enqueue 66) ~probe:Q.Peek
+(* The reproduction finding as scenario data ([Scenario.Builtin]): the
+   paper's exact pseudocode produces a divergent, non-linearizable
+   admissible run; flipping the knob to the repaired timing certifies
+   the identical schedule. *)
+let expect_counterexample (s : Scenario.t) =
+  let paper = Scenario.run s in
+  Alcotest.(check bool)
+    (s.Scenario.name ^ ": verbatim run fails certification")
+    false paper.Scenario.Exec.certified;
+  Alcotest.(check (option bool))
+    (s.Scenario.name ^ ": replicas diverge")
+    (Some false) paper.Scenario.Exec.converged;
+  let repaired =
+    Scenario.run (Scenario.with_knob s Core.Ablation.Paper)
   in
-  Alcotest.(check bool) "paper timing: replicas diverge" false conv_paper;
-  Alcotest.(check bool) "paper timing: history not linearizable" false
-    lin_paper;
-  let lin_fixed, conv_fixed =
-    A.counterexample_run
-      ~timing_of:(fun model ~x -> Core.Wtlw.default_timing model ~x)
-      ~fast_mutator:(Q.Enqueue 55) ~slow_mutator:(Q.Enqueue 66) ~probe:Q.Peek
-  in
-  Alcotest.(check bool) "repaired timing: replicas converge" true conv_fixed;
-  Alcotest.(check bool) "repaired timing: linearizable" true lin_fixed
+  Alcotest.(check bool)
+    (s.Scenario.name ^ ": repaired timing certifies")
+    true repaired.Scenario.Exec.certified;
+  Alcotest.(check (option bool))
+    (s.Scenario.name ^ ": repaired replicas converge")
+    (Some true) repaired.Scenario.Exec.converged
 
-(* The same counterexample expressed on the register (write/read). *)
+let test_paper_verbatim_counterexample () =
+  expect_counterexample Scenario.Builtin.ablation_counterexample
+
+(* The same counterexample expressed on the register (write/read):
+   writes overwrite, so the replicas end up diverged, and sequential
+   reads at different processes conflict. *)
 let test_paper_verbatim_register () =
+  expect_counterexample Scenario.Builtin.ablation_register
+
+(* The scenario encoding and the hand-written harness describe the
+   same run: both verdicts agree, leg by leg. *)
+let test_scenario_matches_harness () =
   let lin_paper, conv_paper =
-    AReg.counterexample_run
+    A.counterexample_run
       ~timing_of:(fun model ~x -> Core.Wtlw.paper_timing model ~x)
-      ~fast_mutator:(Spec.Register.Write 55)
-      ~slow_mutator:(Spec.Register.Write 66) ~probe:Spec.Register.Read
+      ~fast_mutator:(Q.Enqueue 55) ~slow_mutator:(Q.Enqueue 66) ~probe:Q.Peek
   in
-  (* Writes overwrite, so the replicas end up diverged... *)
-  Alcotest.(check bool) "register: replicas diverge" false conv_paper;
-  (* ... and sequential reads at different processes conflict. *)
-  Alcotest.(check bool) "register: not linearizable" false lin_paper;
-  let lin_fixed, conv_fixed =
-    AReg.counterexample_run
-      ~timing_of:(fun model ~x -> Core.Wtlw.default_timing model ~x)
-      ~fast_mutator:(Spec.Register.Write 55)
-      ~slow_mutator:(Spec.Register.Write 66) ~probe:Spec.Register.Read
-  in
-  Alcotest.(check bool) "register repaired: converges" true conv_fixed;
-  Alcotest.(check bool) "register repaired: linearizable" true lin_fixed
+  let o = Scenario.run Scenario.Builtin.ablation_counterexample in
+  Alcotest.(check bool) "linearizability verdicts agree" lin_paper
+    o.Scenario.Exec.linearizable;
+  Alcotest.(check (option bool)) "convergence verdicts agree"
+    (Some conv_paper) o.Scenario.Exec.converged
 
 let test_report_shape () =
   let report = A.report ~model ~x ~seeds:[ 1; 2 ] in
@@ -120,5 +123,7 @@ let () =
             test_paper_verbatim_counterexample;
           Alcotest.test_case "register counterexample" `Quick
             test_paper_verbatim_register;
+          Alcotest.test_case "scenario matches harness" `Quick
+            test_scenario_matches_harness;
         ] );
     ]

@@ -177,6 +177,29 @@ let test_queue_adversarial () =
             deq ~proc:1 ~s:20 ~e:30 (Some 1);
             deq ~proc:0 ~s:40 ~e:50 (Some 1);
           ]));
+  (* a duplicate insertion is ambiguity, not a violation: two takes of
+     [v] are each other's alibi, so the kernel must hand the history to
+     Wing-Gong — crucially also when the confounded takes precede the
+     second insertion in record order, where an eager scan would flag a
+     definitive (and wrong) [container.repeat].  Regression for the
+     closed-loop false negative (test_wtlw seeds 166, 78979, ...):
+     small value ranges repeat values, the monitor claimed
+     non-linearizable while Wing-Gong certified. *)
+  let ambiguous =
+    [
+      deq ~proc:0 ~s:0 ~e:130 (Some 0);
+      deq ~proc:1 ~s:1 ~e:131 (Some 0);
+      enq ~proc:2 ~s:2 ~e:52 0;
+      enq ~proc:3 ~s:3 ~e:53 0;
+    ]
+  in
+  let r = MQ.check ambiguous in
+  Alcotest.(check bool) "duplicate insertions certified" true r.MQ.linearizable;
+  Alcotest.(check bool) "via wing-gong fallback" true (r.MQ.fallback <> None);
+  let third_take = ambiguous @ [ deq ~proc:0 ~s:140 ~e:150 (Some 0) ] in
+  Alcotest.(check bool)
+    "real violation under duplicates still rejected" false
+    (MQ.check third_take).MQ.linearizable;
   (* observed after its removal *)
   expect_reject "peek after take" "container.after-take"
     (verdict
